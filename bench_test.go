@@ -1,0 +1,116 @@
+package kagura_test
+
+// One benchmark per table and figure of the paper's evaluation (§VIII).
+// Each benchmark regenerates its experiment through the Lab harness and
+// prints the resulting table once, so `go test -bench=. -benchmem` both
+// times the reproduction and emits the paper-comparison numbers.
+//
+// All benchmarks share a single memoized Lab at reproduction fidelity
+// (Scale/Seeds below): experiments that reuse configurations (Figs 13, 15,
+// 16, 18 share the headline runs) only pay for simulation once. For
+// full-fidelity numbers use `go run ./cmd/kagura-bench` instead.
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kagura"
+)
+
+var benchVerbose = flag.Bool("bench.tables", true, "print each experiment's table during benchmarks")
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *kagura.Lab
+)
+
+// lab returns the shared benchmark lab: moderate fidelity that keeps the
+// whole `-bench=.` sweep in a few minutes while preserving the paper's
+// shapes.
+func lab() *kagura.Lab {
+	benchLabOnce.Do(func() {
+		opts := kagura.DefaultOptions()
+		opts.Scale = 0.4
+		opts.Seeds = []uint64{1, 2}
+		benchLab = kagura.NewLab(opts)
+	})
+	return benchLab
+}
+
+// runExperiment is the common benchmark body.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var table kagura.ExperimentTable
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = res.Render()
+	}
+	if *benchVerbose {
+		fmt.Print(table.String())
+	}
+}
+
+func BenchmarkFig01CacheSizeDilemma(b *testing.B)  { runExperiment(b, "fig01") }
+func BenchmarkFig03AnalyticModel(b *testing.B)     { runExperiment(b, "fig03") }
+func BenchmarkFig11PowerTraces(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12CycleConsistency(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13Performance(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14CycleLengths(b *testing.B)      { runExperiment(b, "fig14") }
+func BenchmarkFig15MissRates(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkFig16EnergyBreakdown(b *testing.B)   { runExperiment(b, "fig16") }
+func BenchmarkFig17ArithIntensity(b *testing.B)    { runExperiment(b, "fig17") }
+func BenchmarkFig18CompressionCut(b *testing.B)    { runExperiment(b, "fig18") }
+func BenchmarkFig19DesignsTriggers(b *testing.B)   { runExperiment(b, "fig19") }
+func BenchmarkFig20CacheManagements(b *testing.B)  { runExperiment(b, "fig20") }
+func BenchmarkFig21AdaptationSchemes(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFig22IncreaseStep(b *testing.B)      { runExperiment(b, "fig22") }
+func BenchmarkFig23Compressors(b *testing.B)       { runExperiment(b, "fig23") }
+func BenchmarkFig24CacheSizes(b *testing.B)        { runExperiment(b, "fig24") }
+func BenchmarkFig25CacheWays(b *testing.B)         { runExperiment(b, "fig25") }
+func BenchmarkFig26BlockSizes(b *testing.B)        { runExperiment(b, "fig26") }
+func BenchmarkFig27MemorySizes(b *testing.B)       { runExperiment(b, "fig27") }
+func BenchmarkFig28MemoryTypes(b *testing.B)       { runExperiment(b, "fig28") }
+func BenchmarkFig29CapacitorSizes(b *testing.B)    { runExperiment(b, "fig29") }
+func BenchmarkFig30PowerTraces(b *testing.B)       { runExperiment(b, "fig30") }
+func BenchmarkTableIIHistoryDepth(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkTableIIICapLeakage(b *testing.B)     { runExperiment(b, "table3") }
+func BenchmarkTableIVCounterBits(b *testing.B)     { runExperiment(b, "table4") }
+func BenchmarkHardwareOverhead(b *testing.B)       { runExperiment(b, "area") }
+
+// Ablation and extension benches (mechanisms the paper describes in §VI-A,
+// §VII-A, and §IX but does not plot).
+func BenchmarkEstimatorAblation(b *testing.B)   { runExperiment(b, "estimator") }
+func BenchmarkAtomicRegions(b *testing.B)       { runExperiment(b, "atomic") }
+func BenchmarkExtendedCompressors(b *testing.B) { runExperiment(b, "codecs-ext") }
+func BenchmarkReplacementPolicies(b *testing.B) { runExperiment(b, "replacement") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (committed
+// instructions per wall-clock second of the host), independent of the
+// experiment harness.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, err := kagura.Workload("gsm", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := kagura.Trace("RFHome", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := kagura.DefaultConfig(app, trace).
+		WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController())
+	b.ResetTimer()
+	var committed int64
+	for i := 0; i < b.N; i++ {
+		res, err := kagura.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
+}

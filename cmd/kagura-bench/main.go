@@ -1,0 +1,95 @@
+// Command kagura-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kagura-bench                         # everything, full fidelity
+//	kagura-bench -experiments fig13      # just the headline comparison
+//	kagura-bench -quick                  # fast smoke run
+//	kagura-bench -scale 0.5 -seeds 1,2   # custom fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"kagura"
+)
+
+func main() {
+	var (
+		expList = flag.String("experiments", "all", "comma-separated experiment ids (see -list) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced fidelity for a fast smoke run")
+		scale   = flag.Float64("scale", 0, "workload length scale (0 = option default)")
+		seeds   = flag.String("seeds", "", "comma-separated trace seeds (empty = option default)")
+		apps    = flag.String("apps", "", "comma-separated app subset (empty = all)")
+		format  = flag.String("format", "text", "output format: text, csv, json")
+		outDir  = flag.String("out", "", "write each experiment to <out>/<id>.<format> instead of stdout")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(kagura.Experiments(), " "))
+		return
+	}
+
+	opts := kagura.DefaultOptions()
+	if *quick {
+		opts = kagura.QuickOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *seeds != "" {
+		opts.Seeds = nil
+		for _, s := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			fatal(err)
+			opts.Seeds = append(opts.Seeds, v)
+		}
+	}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	ids := kagura.Experiments()
+	if *expList != "all" {
+		ids = strings.Split(*expList, ",")
+	}
+
+	lab := kagura.NewLab(opts)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := lab.Run(id)
+		fatal(err)
+		table := res.Render()
+		if *outDir != "" {
+			ext := *format
+			if ext == "text" {
+				ext = "txt"
+			}
+			path := filepath.Join(*outDir, table.ID+"."+ext)
+			f, err := os.Create(path)
+			fatal(err)
+			fatal(table.Format(*format, f))
+			fatal(f.Close())
+			fmt.Printf("%s -> %s (%.1fs)\n", id, path, time.Since(start).Seconds())
+			continue
+		}
+		fatal(table.Format(*format, os.Stdout))
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kagura-bench:", err)
+		os.Exit(1)
+	}
+}

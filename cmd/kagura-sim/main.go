@@ -1,0 +1,190 @@
+// Command kagura-sim runs a single EHS simulation and prints its statistics.
+//
+// Usage:
+//
+//	kagura-sim -app jpeg -trace RFHome -codec BDI -acc -kagura
+//	kagura-sim -app typeset -design NvMR -codec BDI -acc -kagura -trigger vol
+//	kagura-sim -list
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kagura"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "jpeg", "workload name (see -list)")
+		appFile  = flag.String("workload", "", "JSON workload definition file (overrides -app)")
+		traceSrc = flag.String("trace", "RFHome", "ambient source: RFHome, Solar, Thermal")
+		seed     = flag.Uint64("seed", 1, "power-trace seed")
+		scale    = flag.Float64("scale", 1.0, "workload length scale (1.0 ≈ 600k instructions)")
+		codec    = flag.String("codec", "", "compression algorithm: BDI, FPC, C-Pack, DZC (empty = no compression)")
+		useACC   = flag.Bool("acc", false, "gate compression behind the ACC predictor")
+		useKag   = flag.Bool("kagura", false, "enable the Kagura controller")
+		trigger  = flag.String("trigger", "mem", "Kagura trigger: mem or vol")
+		policy   = flag.String("policy", "AIMD", "R_thres policy: AIMD, MIAD, AIAD, MIMD")
+		design   = flag.String("design", "NVSRAMCache", "EHS design: NVSRAMCache, NvMR, SweepCache")
+		decay    = flag.Int64("decay", 0, "EDBP cache-decay interval in cycles (0 = off)")
+		prefetch = flag.Bool("prefetch", false, "enable the IPEX-style next-line prefetcher")
+		compare  = flag.Bool("compare", false, "also run the compressor-free baseline and report speedup")
+		cycleCSV = flag.String("cyclelog", "", "write the per-power-cycle log (committed,loads,stores,cycles,cpi) as CSV")
+		list     = flag.Bool("list", false, "list workloads, traces, codecs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads: ", strings.Join(kagura.Workloads(), " "))
+		fmt.Println("traces:    RFHome Solar Thermal")
+		fmt.Println("codecs:    ", strings.Join(kagura.Compressors(), " "))
+		return
+	}
+
+	var app *kagura.App
+	var err error
+	if *appFile != "" {
+		f, ferr := os.Open(*appFile)
+		fatal(ferr)
+		app, err = kagura.WorkloadFromJSON(f)
+		fatal(err)
+		fatal(f.Close())
+	} else {
+		app, err = kagura.Workload(*appName, *scale)
+		fatal(err)
+	}
+	trace, err := kagura.Trace(*traceSrc, *seed)
+	fatal(err)
+
+	cfg := kagura.DefaultConfig(app, trace)
+	switch strings.ToLower(*design) {
+	case "nvsramcache":
+		cfg.Design = kagura.NVSRAMCache
+	case "nvmr":
+		cfg.Design = kagura.NvMR
+	case "sweepcache":
+		cfg.Design = kagura.SweepCache
+	default:
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+	if *codec != "" {
+		c, err := kagura.Compressor(*codec)
+		fatal(err)
+		cfg.Codec = c
+		cfg.UseACC = *useACC
+	}
+	if *useKag {
+		kc := kagura.DefaultController()
+		if strings.EqualFold(*trigger, "vol") {
+			kc.Trigger = kagura.TriggerVoltage
+		}
+		// Policy selection.
+		switch strings.ToUpper(*policy) {
+		case "AIMD":
+			kc.Policy = kagura.AIMD
+		case "MIAD":
+			kc.Policy = kagura.MIAD
+		case "AIAD":
+			kc.Policy = kagura.AIAD
+		case "MIMD":
+			kc.Policy = kagura.MIMD
+		default:
+			fatal(fmt.Errorf("unknown policy %q", *policy))
+		}
+		cfg.Kagura = &kc
+	}
+	cfg.DecayInterval = *decay
+	cfg.Prefetch = *prefetch
+	if *cycleCSV != "" {
+		cfg.CollectCycleLog = true
+	}
+
+	res, err := kagura.Run(cfg)
+	fatal(err)
+	report(cfg, res)
+	if *cycleCSV != "" {
+		fatal(writeCycleLog(*cycleCSV, res))
+		fmt.Printf("cycle log:        %s (%d power cycles)\n", *cycleCSV, len(res.Cycles))
+	}
+
+	if *compare {
+		baseCfg := kagura.DefaultConfig(app, trace)
+		baseCfg.Design = cfg.Design
+		base, err := kagura.Run(baseCfg)
+		fatal(err)
+		fmt.Printf("\nvs compressor-free baseline:\n")
+		fmt.Printf("  speedup:          %+.2f%%\n", 100*res.Speedup(base))
+		fmt.Printf("  energy reduction: %+.2f%%\n", 100*res.EnergyReduction(base))
+	}
+}
+
+func report(cfg kagura.SimConfig, res *kagura.Result) {
+	fmt.Printf("config: %s\n", cfg.String())
+	fmt.Printf("completed:        %v\n", res.Completed)
+	fmt.Printf("exec time:        %.3f ms\n", res.ExecSeconds*1e3)
+	fmt.Printf("committed:        %d instructions (%d executed)\n", res.Committed, res.Executed)
+	fmt.Printf("power cycles:     %d (avg %.0f instructions/cycle)\n", res.PowerCycles, res.AvgCommittedPerCycle())
+	e := res.Energy
+	total := e.Total()
+	fmt.Printf("energy total:     %.3f µJ\n", total*1e6)
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"compress", e.Compress}, {"decompress", e.Decompress},
+		{"cache (other)", e.CacheOther}, {"memory", e.Memory},
+		{"checkpoint/rst", e.Checkpoint}, {"others", e.Others},
+	} {
+		fmt.Printf("  %-15s %8.3f µJ (%5.2f%%)\n", c.name, c.v*1e6, 100*c.v/total)
+	}
+	fmt.Printf("ICache: %.2f%% miss (%d accesses)\n", 100*res.ICache.MissRate(), res.ICache.Accesses)
+	fmt.Printf("DCache: %.2f%% miss (%d accesses)\n", 100*res.DCache.MissRate(), res.DCache.Accesses)
+	fmt.Printf("compressions:     %d (+%d decompressions)\n", res.Compressions, res.Decompressions)
+	if res.KaguraRMEntries > 0 {
+		fmt.Printf("Kagura RM entries: %d\n", res.KaguraRMEntries)
+	}
+	if res.Prefetches > 0 {
+		fmt.Printf("prefetches:       %d\n", res.Prefetches)
+	}
+}
+
+// writeCycleLog dumps the per-power-cycle records as CSV for external
+// analysis (Figs 12/14-style studies on custom configurations).
+func writeCycleLog(path string, res *kagura.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"cycle", "committed", "loads", "stores", "cycles", "cpi"}); err != nil {
+		return err
+	}
+	for i, c := range res.Cycles {
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.FormatInt(c.Committed, 10),
+			strconv.FormatInt(c.Loads, 10),
+			strconv.FormatInt(c.Stores, 10),
+			strconv.FormatInt(c.Cycles, 10),
+			strconv.FormatFloat(c.CPI(), 'f', 3, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kagura-sim:", err)
+		os.Exit(1)
+	}
+}

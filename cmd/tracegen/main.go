@@ -1,0 +1,74 @@
+// Command tracegen synthesizes and inspects ambient power traces in the
+// paper's text format (one average-power sample per 10µs interval).
+//
+// Usage:
+//
+//	tracegen -source RFHome -seed 3 -o rfhome.trace
+//	tracegen -stats rfhome.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kagura"
+	"kagura/internal/powertrace"
+)
+
+func main() {
+	var (
+		source  = flag.String("source", "RFHome", "ambient source: RFHome, Solar, Thermal")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (empty = stdout)")
+		samples = flag.Int("samples", 0, "truncate to this many samples (0 = full trace)")
+		stats   = flag.String("stats", "", "read a trace file and print its statistics instead of generating")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		f, err := os.Open(*stats)
+		fatal(err)
+		defer f.Close()
+		tr, err := powertrace.Read(f)
+		fatal(err)
+		printStats(tr)
+		return
+	}
+
+	tr, err := kagura.Trace(*source, *seed)
+	fatal(err)
+	if *samples > 0 && *samples < len(tr.Samples) {
+		tr.Samples = tr.Samples[:*samples]
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	fatal(tr.Write(w))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d samples (%.3fs of %s) to %s\n",
+			len(tr.Samples), tr.Duration(), tr.Name, *out)
+		printStats(tr)
+	}
+}
+
+func printStats(tr *kagura.PowerTrace) {
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "trace %s: %d samples, %.3fs\n", tr.Name, len(tr.Samples), tr.Duration())
+	fmt.Fprintf(os.Stderr, "  mean %.1fµW  p50 %.1fµW  p90 %.1fµW  peak %.1fµW\n",
+		s.MeanWatts*1e6, s.P50*1e6, s.P90*1e6, s.PeakWatts*1e6)
+	fmt.Fprintf(os.Stderr, "  stable share %.1f%%  near-zero share %.1f%%\n",
+		100*s.StableShare, 100*s.ZeroShare)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package kagura_test
+
+import (
+	"fmt"
+	"strings"
+
+	"kagura"
+)
+
+// The godoc examples double as executable documentation: each runs a real
+// simulation (tiny scale) and asserts its printed output.
+
+// Example runs the paper's default system on one workload, with and without
+// the intermittence-aware compression stack.
+func Example() {
+	app, _ := kagura.Workload("jpeg", 0.05)
+	trace, _ := kagura.Trace("RFHome", 1)
+
+	base, _ := kagura.Run(kagura.DefaultConfig(app, trace))
+	kag, _ := kagura.Run(kagura.DefaultConfig(app, trace).
+		WithACC(kagura.BDI{}).
+		WithKagura(kagura.DefaultController()))
+
+	fmt.Println("completed:", base.Completed && kag.Completed)
+	fmt.Println("compressions without Kagura gating:", kag.Compressions > 0)
+	// Output:
+	// completed: true
+	// compressions without Kagura gating: true
+}
+
+// ExampleWorkloadFromJSON defines a custom application in JSON and runs it.
+func ExampleWorkloadFromJSON() {
+	def := `{
+	  "name": "blink",
+	  "seed": 1,
+	  "regions": [{"base": 268435456, "sizeWords": 32, "hotWords": 32, "class": "narrow"}],
+	  "phases": [{
+	    "iterations": 2000,
+	    "codeBase": 65536,
+	    "codeWords": 24,
+	    "body": ["load hot 0", "arith", "arith", "store hot 0"]
+	  }]
+	}`
+	app, err := kagura.WorkloadFromJSON(strings.NewReader(def))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	trace, _ := kagura.Trace("Thermal", 3)
+	res, _ := kagura.Run(kagura.DefaultConfig(app, trace))
+	fmt.Println(app.Name, "committed:", res.Committed)
+	// Output:
+	// blink committed: 8000
+}
+
+// ExampleNewLab regenerates one of the paper's static analyses.
+func ExampleNewLab() {
+	lab := kagura.NewLab(kagura.LabOptions{Scale: 0.05, Seeds: []uint64{1}})
+	res, err := lab.Run("area")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tbl := res.Render()
+	fmt.Println(tbl.ID, "rows:", len(tbl.Rows))
+	// Output:
+	// area rows: 3
+}

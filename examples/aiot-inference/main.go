@@ -1,0 +1,84 @@
+// AIoT-inference: batteryless machine-learning inference at the edge
+// (§VII-B). The paper argues AIoT workloads are where Kagura matters most:
+// inference is memory-intensive, needs low latency for quality of service,
+// and a compressed cache effectively lets the device run a larger model.
+//
+// The example sweeps the model's working-set size and reports how the
+// compression stack changes inference throughput (committed instructions per
+// second of wall-clock harvesting time) — the QoS proxy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kagura"
+)
+
+// inferenceApp models one quantized-NN layer loop: weights are streamed with
+// partial reuse (the "tile" that should stay cached), activations are narrow
+// integers, and accumulators live in a small hot region.
+func inferenceApp(tileWords int) *kagura.App {
+	app := &kagura.App{
+		Name: fmt.Sprintf("aiot-tile%d", tileWords),
+		Seed: 7_2026,
+		Regions: []kagura.Region{
+			// Accumulators / im2col window: small and hot.
+			{Base: 0x1000_0000, SizeWords: 40, HotWords: 40, Class: kagura.ClassNarrow},
+			// Weight tile: the knob — quantized weights are zero-heavy, so
+			// compression can double the tile the cache retains.
+			{Base: 0x1010_0000, SizeWords: tileWords, HotWords: tileWords, Class: kagura.ClassZeros},
+			// Activation stream.
+			{Base: 0x1020_0000, SizeWords: 4096, Class: kagura.ClassNarrow},
+		},
+		Phases: []kagura.Phase{{
+			Iterations: 40_000,
+			Body: []kagura.Slot{
+				{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 1}, // weight
+				{Kind: kagura.Arith}, // MAC
+				{Kind: kagura.Load, Pattern: kagura.PatSeq, Region: 2}, // activation
+				{Kind: kagura.Arith},
+				{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 1}, // weight
+				{Kind: kagura.Arith},
+				{Kind: kagura.Store, Pattern: kagura.PatHot, Region: 0}, // accumulate
+				{Kind: kagura.Arith},
+				{Kind: kagura.Arith},
+				{Kind: kagura.Arith},
+			},
+			CodeBase:  0x0001_0000,
+			CodeWords: 60,
+		}},
+	}
+	app.Build()
+	return app
+}
+
+func main() {
+	trace, err := kagura.Trace("RFHome", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Batteryless NN inference: weight-tile size vs compression stack")
+	fmt.Printf("%-12s %16s %16s %10s\n", "tile", "base kinstr/s", "Kagura kinstr/s", "gain")
+
+	for _, tileWords := range []int{48, 96, 144, 192} {
+		app := inferenceApp(tileWords)
+		base, err := kagura.Run(kagura.DefaultConfig(app, trace))
+		if err != nil {
+			log.Fatal(err)
+		}
+		kag, err := kagura.Run(kagura.DefaultConfig(app, trace).
+			WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		throughput := func(r *kagura.Result) float64 {
+			return float64(r.Committed) / r.ExecSeconds / 1e3
+		}
+		fmt.Printf("%5dB %16.0f %16.0f %9.2f%%\n",
+			tileWords*4, throughput(base), throughput(kag), 100*kag.Speedup(base))
+	}
+	fmt.Println("\nMid-size tiles (fitting the cache only when compressed) benefit most:")
+	fmt.Println("that is the regime where a compressed cache effectively runs a larger model")
+	fmt.Println("at the same QoS, and where Kagura prevents the outage-wasted compressions.")
+}

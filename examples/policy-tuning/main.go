@@ -1,0 +1,63 @@
+// Policy-tuning: explore Kagura's controller knobs — the R_thres adaptation
+// policy (Fig 21), the additive increase step (Fig 22), and the trigger
+// style (Fig 19) — on a single workload, using only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kagura"
+)
+
+func main() {
+	app, err := kagura.Workload("typeset", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := kagura.Trace("RFHome", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := kagura.Run(kagura.DefaultConfig(app, trace))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(kc kagura.ControllerConfig) *kagura.Result {
+		res, err := kagura.Run(kagura.DefaultConfig(app, trace).
+			WithACC(kagura.BDI{}).WithKagura(kc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("workload %s: typeset-style text layout where plain ACC wastes energy\n\n", app.Name)
+
+	fmt.Println("R_thres adaptation policy (paper selects AIMD):")
+	for _, p := range []kagura.Policy{kagura.AIMD, kagura.MIAD, kagura.AIAD, kagura.MIMD} {
+		kc := kagura.DefaultController()
+		kc.Policy = p
+		r := run(kc)
+		fmt.Printf("  %-5s %+6.2f%% speedup, %+6.2f%% energy, %5d compressions\n",
+			p, 100*r.Speedup(base), 100*r.EnergyReduction(base), r.Compressions)
+	}
+
+	fmt.Println("\nadditive increase step (paper selects 10%):")
+	for _, step := range []float64{0.05, 0.10, 0.15, 0.20} {
+		kc := kagura.DefaultController()
+		kc.IncreaseStep = step
+		r := run(kc)
+		fmt.Printf("  %4.0f%%  %+6.2f%% speedup, %+6.2f%% energy\n",
+			step*100, 100*r.Speedup(base), 100*r.EnergyReduction(base))
+	}
+
+	fmt.Println("\ntrigger style (memory-count vs voltage monitor):")
+	for _, trig := range []kagura.Trigger{kagura.TriggerMem, kagura.TriggerVoltage} {
+		kc := kagura.DefaultController()
+		kc.Trigger = trig
+		r := run(kc)
+		fmt.Printf("  %-4s  %+6.2f%% speedup, %d RM entries\n",
+			trig, 100*r.Speedup(base), r.KaguraRMEntries)
+	}
+}

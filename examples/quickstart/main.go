@@ -1,0 +1,62 @@
+// Quickstart: run one MediaBench workload on the paper's default EHS with
+// and without intermittence-aware cache compression, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kagura"
+)
+
+func main() {
+	// The jpeg decoder workload (~600k instructions at scale 1.0; we use a
+	// shorter run so the example finishes in a second or two).
+	app, err := kagura.Workload("jpegd", 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ambient RF harvested in a home environment — weak and bursty, so the
+	// system dies and reboots hundreds of times per second.
+	trace, err := kagura.Trace("RFHome", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three systems, identical hardware except the compression stack:
+	base := kagura.DefaultConfig(app, trace)          // no compression
+	acc := base.WithACC(kagura.BDI{})                 // ACC-gated BDI
+	kag := acc.WithKagura(kagura.DefaultController()) // + Kagura
+
+	bRes, err := kagura.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aRes, err := kagura.Run(acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kRes, err := kagura.Run(kag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on %s: %d instructions, %d power outages (baseline)\n",
+		app.Name, trace.Name, bRes.Committed, bRes.PowerCycles)
+	fmt.Printf("%-22s %12s %12s %14s\n", "config", "time (ms)", "energy (µJ)", "compressions")
+	for _, row := range []struct {
+		name string
+		r    *kagura.Result
+	}{
+		{"baseline", bRes}, {"+ACC (BDI)", aRes}, {"+ACC+Kagura", kRes},
+	} {
+		fmt.Printf("%-22s %12.2f %12.3f %14d\n",
+			row.name, row.r.ExecSeconds*1e3, row.r.Energy.Total()*1e6, row.r.Compressions)
+	}
+	fmt.Printf("\nACC alone:   %+6.2f%% speedup, %+6.2f%% energy\n",
+		100*aRes.Speedup(bRes), 100*aRes.EnergyReduction(bRes))
+	fmt.Printf("ACC+Kagura:  %+6.2f%% speedup, %+6.2f%% energy\n",
+		100*kRes.Speedup(bRes), 100*kRes.EnergyReduction(bRes))
+	fmt.Printf("Kagura entered low-power RM mode %d times across %d power cycles.\n",
+		kRes.KaguraRMEntries, kRes.PowerCycles)
+}

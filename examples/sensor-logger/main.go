@@ -1,0 +1,99 @@
+// Sensor-logger: a batteryless environmental sensor node, the canonical EHS
+// deployment the paper's introduction motivates (stream/river monitoring,
+// structural health tracking).
+//
+// The example builds a *custom* workload with the public API — a sampling →
+// filtering → ring-buffer-logging pipeline — and shows how Kagura behaves
+// across the three ambient sources: the controller adapts its
+// compression-disabling threshold to each source's power-cycle pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kagura"
+)
+
+// sensorApp models one duty cycle of a sensing node:
+//   - read a burst of ADC samples into a small working buffer (narrow values),
+//   - run an FIR-like filter over the buffer (arithmetic + hot reuse),
+//   - append compressed readings to a log ring (sequential stores,
+//     zero-heavy deltas).
+func sensorApp() *kagura.App {
+	app := &kagura.App{
+		Name: "sensor-logger",
+		Seed: 2026,
+		Regions: []kagura.Region{
+			// ADC sample buffer: 48 words of narrow values, heavily reused.
+			{Base: 0x1000_0000, SizeWords: 48, HotWords: 48, Class: kagura.ClassNarrow},
+			// Filter coefficients + state: fits alongside the buffer only
+			// when compressed.
+			{Base: 0x1010_0000, SizeWords: 96, HotWords: 96, Class: kagura.ClassZeros},
+			// Log ring: sequential append, no reuse.
+			{Base: 0x1020_0000, SizeWords: 8192, Class: kagura.ClassZeros},
+		},
+		Phases: []kagura.Phase{
+			{ // sample + filter
+				Iterations: 30_000,
+				Body: []kagura.Slot{
+					{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 0},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 1},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Store, Pattern: kagura.PatHot, Region: 0},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 1},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Arith},
+				},
+				CodeBase:  0x0001_0000,
+				CodeWords: 90,
+			},
+			{ // log append
+				Iterations: 10_000,
+				Body: []kagura.Slot{
+					{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 0},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Store, Pattern: kagura.PatSeq, Region: 2},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Arith},
+					{Kind: kagura.Arith},
+				},
+				CodeBase:  0x0002_0000,
+				CodeWords: 42,
+			},
+		},
+	}
+	app.Build()
+	return app
+}
+
+func main() {
+	app := sensorApp()
+	fmt.Printf("sensor node workload: %d instructions, %.0f%% memory ops\n\n",
+		app.Len(), 100*app.MemOpFraction())
+	fmt.Printf("%-9s %14s %14s %14s %10s\n", "source", "base time", "Kagura time", "speedup", "outages")
+
+	for _, source := range []string{"RFHome", "Solar", "Thermal"} {
+		trace, err := kagura.Trace(source, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := kagura.Run(kagura.DefaultConfig(app, trace))
+		if err != nil {
+			log.Fatal(err)
+		}
+		kag, err := kagura.Run(kagura.DefaultConfig(app, trace).
+			WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %11.2f ms %11.2f ms %13.2f%% %10d\n",
+			source, base.ExecSeconds*1e3, kag.ExecSeconds*1e3,
+			100*kag.Speedup(base), base.PowerCycles)
+	}
+	fmt.Println("\nThe bursty RF source forces the most power cycles; Kagura's per-cycle")
+	fmt.Println("estimator follows each source's rhythm without reconfiguration.")
+}

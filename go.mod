@@ -1,0 +1,3 @@
+module kagura
+
+go 1.22

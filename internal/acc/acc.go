@@ -1,0 +1,89 @@
+// Package acc implements Adaptive Cache Compression (Alameldeen & Wood, ISCA
+// 2004), the compressor-control baseline Kagura extends (§II-C).
+//
+// ACC maintains a Global Compression Predictor (GCP): a wide saturating
+// counter that accumulates evidence about whether compression is currently
+// paying off. Every cache hit is classified by its LRU stack depth:
+//
+//   - a hit at depth ≥ ways exists only because compression stretched the
+//     set's capacity — an *avoided miss*. The GCP is credited with the miss
+//     penalty that was saved.
+//   - a hit on a compressed block at depth < ways would have hit in an
+//     uncompressed cache too, yet paid a decompression — a *penalized hit*.
+//     The GCP is debited with the decompression penalty.
+//
+// New blocks are stored compressed while the GCP is positive.
+package acc
+
+// Config parameterizes the predictor.
+type Config struct {
+	// Bits is the saturating counter width (original design: a wide counter;
+	// default 19 bits as a signed saturating range).
+	Bits int
+	// MissPenalty is the credit for an avoided miss, in cycles (typically
+	// the NVM access latency).
+	MissPenalty int
+	// DecompressPenalty is the debit for a penalized hit, in cycles.
+	DecompressPenalty int
+}
+
+// DefaultConfig returns the standard predictor: 19-bit counter, penalties
+// filled in by the simulator from its memory/codec latencies.
+func DefaultConfig(missPenalty, decompressPenalty int) Config {
+	return Config{Bits: 19, MissPenalty: missPenalty, DecompressPenalty: decompressPenalty}
+}
+
+// Predictor is the GCP.
+type Predictor struct {
+	cfg      Config
+	counter  int
+	min, max int
+
+	// Event counters for analysis.
+	AvoidedMisses int64
+	PenalizedHits int64
+}
+
+// New constructs a predictor starting at zero (compression initially off in
+// the strictly-positive reading; the first avoided miss activates it).
+func New(cfg Config) *Predictor {
+	if cfg.Bits < 2 || cfg.Bits > 30 {
+		cfg.Bits = 19
+	}
+	bound := 1 << uint(cfg.Bits-1)
+	return &Predictor{cfg: cfg, min: -bound, max: bound - 1}
+}
+
+// Counter exposes the current GCP value.
+func (p *Predictor) Counter() int { return p.counter }
+
+// ShouldCompress reports whether new fills should be stored compressed.
+func (p *Predictor) ShouldCompress() bool { return p.counter >= 0 }
+
+// add saturates the counter update.
+func (p *Predictor) add(delta int) {
+	p.counter += delta
+	if p.counter > p.max {
+		p.counter = p.max
+	}
+	if p.counter < p.min {
+		p.counter = p.min
+	}
+}
+
+// OnAvoidedMiss credits compression for a hit that only exists thanks to the
+// extra effective capacity.
+func (p *Predictor) OnAvoidedMiss() {
+	p.AvoidedMisses++
+	p.add(p.cfg.MissPenalty)
+}
+
+// OnPenalizedHit debits compression for a decompression that bought nothing.
+func (p *Predictor) OnPenalizedHit() {
+	p.PenalizedHits++
+	p.add(-p.cfg.DecompressPenalty)
+}
+
+// Reset clears the counter (power failure: the GCP is volatile state that is
+// not worth checkpointing; it re-learns within a few accesses).
+func (p *Predictor) Reset() { p.counter = 0 }

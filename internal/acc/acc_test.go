@@ -1,0 +1,83 @@
+package acc
+
+import "testing"
+
+func cfg() Config { return DefaultConfig(40, 5) }
+
+func TestStartsCompressing(t *testing.T) {
+	p := New(cfg())
+	if !p.ShouldCompress() {
+		t.Fatal("GCP at zero should allow compression")
+	}
+}
+
+func TestAvoidedMissCredits(t *testing.T) {
+	p := New(cfg())
+	p.OnAvoidedMiss()
+	if p.Counter() != 40 {
+		t.Fatalf("counter = %d, want 40", p.Counter())
+	}
+	if p.AvoidedMisses != 1 {
+		t.Fatal("event not counted")
+	}
+}
+
+func TestPenalizedHitsDisableCompression(t *testing.T) {
+	p := New(cfg())
+	p.OnPenalizedHit() // -5
+	if p.ShouldCompress() {
+		t.Fatal("negative GCP should disable compression")
+	}
+	// Eight avoided misses outweigh many penalized hits.
+	for i := 0; i < 8; i++ {
+		p.OnAvoidedMiss()
+	}
+	if !p.ShouldCompress() {
+		t.Fatal("credits should re-enable compression")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	p := New(Config{Bits: 4, MissPenalty: 100, DecompressPenalty: 100})
+	for i := 0; i < 10; i++ {
+		p.OnAvoidedMiss()
+	}
+	if p.Counter() != 7 { // 2^3 - 1
+		t.Fatalf("counter = %d, want saturation at 7", p.Counter())
+	}
+	for i := 0; i < 10; i++ {
+		p.OnPenalizedHit()
+	}
+	if p.Counter() != -8 {
+		t.Fatalf("counter = %d, want saturation at -8", p.Counter())
+	}
+}
+
+func TestBadBitsFallBack(t *testing.T) {
+	p := New(Config{Bits: 0, MissPenalty: 1, DecompressPenalty: 1})
+	p.OnAvoidedMiss()
+	if p.Counter() != 1 {
+		t.Fatal("fallback config broken")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(cfg())
+	p.OnAvoidedMiss()
+	p.Reset()
+	if p.Counter() != 0 || !p.ShouldCompress() {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPenaltyWeighting(t *testing.T) {
+	// One avoided miss at 40 cycles outweighs 7 penalized hits at 5.
+	p := New(cfg())
+	p.OnAvoidedMiss()
+	for i := 0; i < 7; i++ {
+		p.OnPenalizedHit()
+	}
+	if p.Counter() != 5 || !p.ShouldCompress() {
+		t.Fatalf("counter = %d, want 5", p.Counter())
+	}
+}

@@ -1,0 +1,98 @@
+// Package analytic implements the closed-form cost/benefit model of §III:
+// when does cache compression pay off for an energy harvesting system?
+//
+// For N memory operations, compression yields
+//
+//	E_benefit = (R⁺_hit − R_hit) · N · E_miss            (Eq 1)
+//	E_waste   = (a·N + L) · E_decomp + M · E_comp        (Eq 2)
+//
+// and is worthwhile iff E_benefit − E_waste > 0 (Ineq 3), i.e. iff the hit
+// rate improves by at least
+//
+//	ΔR_hit > ((a + e)·E_decomp + f·E_comp) / E_miss      (Ineq 4)
+//
+// where a is the fraction of memory operations touching compressed blocks,
+// e = L/N the compressed evictions per memory operation, and f = M/N the
+// compressions per memory operation. Fig 3 plots this minimum ΔR_hit against
+// the combined compression+decompression cost and the miss penalty for
+// several (a, e, f) triples.
+package analytic
+
+// Params holds the model inputs. Energies are in arbitrary but consistent
+// units (the paper uses picojoules).
+type Params struct {
+	EMiss   float64 // energy of one cache miss handled from NVM
+	EComp   float64 // energy of one block compression
+	EDecomp float64 // energy of one block decompression
+	A       float64 // fraction of memory ops accessing compressed blocks
+	E       float64 // compressed-block evictions per memory op (L/N)
+	F       float64 // block compressions per memory op (M/N)
+}
+
+// MinDeltaHitRate returns the minimum cache-hit-rate improvement for which
+// compression yields a net energy reduction (the right-hand side of Ineq 4).
+// A zero or negative EMiss yields +Inf-like sentinel 1 (compression can
+// never pay: a hit-rate improvement above 100% is impossible).
+func MinDeltaHitRate(p Params) float64 {
+	if p.EMiss <= 0 {
+		return 1
+	}
+	return ((p.A+p.E)*p.EDecomp + p.F*p.EComp) / p.EMiss
+}
+
+// EnergyBenefit evaluates Eq 1 for n memory operations and a hit-rate
+// improvement deltaHit.
+func EnergyBenefit(p Params, n float64, deltaHit float64) float64 {
+	return deltaHit * n * p.EMiss
+}
+
+// EnergyWaste evaluates Eq 2 for n memory operations.
+func EnergyWaste(p Params, n float64) float64 {
+	return (p.A*n+p.E*n)*p.EDecomp + p.F*n*p.EComp
+}
+
+// NetReduction evaluates Ineq 3's left side: E_benefit − E_waste.
+func NetReduction(p Params, n float64, deltaHit float64) float64 {
+	return EnergyBenefit(p, n, deltaHit) - EnergyWaste(p, n)
+}
+
+// Worthwhile reports whether compression yields a net energy reduction at
+// the given hit-rate improvement (Ineq 3).
+func Worthwhile(p Params, deltaHit float64) bool {
+	return deltaHit > MinDeltaHitRate(p)
+}
+
+// Fig3Point is one sample of the Fig 3 surfaces.
+type Fig3Point struct {
+	CompPlusDecomp float64 // E_comp + E_decomp (x-axis)
+	EMiss          float64 // cache miss penalty (series)
+	MinDeltaHit    float64 // required hit-rate improvement (y-axis)
+}
+
+// Fig3Surface generates the minimum-ΔR_hit surface for one (a, e, f) subplot
+// of Fig 3: sweeping the combined compression+decompression cost over
+// [costMin, costMax] in steps, for each miss penalty in misses. The combined
+// cost is split between E_comp and E_decomp in the paper's Table I ratio
+// (3.84 : 0.65).
+func Fig3Surface(a, e, f float64, costMin, costMax float64, steps int, misses []float64) []Fig3Point {
+	const compShare = 3.84 / (3.84 + 0.65)
+	var out []Fig3Point
+	if steps < 2 {
+		steps = 2
+	}
+	for _, em := range misses {
+		for i := 0; i < steps; i++ {
+			cost := costMin + (costMax-costMin)*float64(i)/float64(steps-1)
+			p := Params{
+				EMiss:   em,
+				EComp:   cost * compShare,
+				EDecomp: cost * (1 - compShare),
+				A:       a,
+				E:       e,
+				F:       f,
+			}
+			out = append(out, Fig3Point{CompPlusDecomp: cost, EMiss: em, MinDeltaHit: MinDeltaHitRate(p)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperParams() Params {
+	// Table I costs with plausible run-time fractions.
+	return Params{EMiss: 50, EComp: 3.84, EDecomp: 0.65, A: 0.5, E: 0.1, F: 0.1}
+}
+
+func TestMinDeltaHitRateFormula(t *testing.T) {
+	p := paperParams()
+	want := ((0.5+0.1)*0.65 + 0.1*3.84) / 50
+	if got := MinDeltaHitRate(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MinDeltaHitRate = %v, want %v", got, want)
+	}
+}
+
+func TestZeroMissPenaltySentinel(t *testing.T) {
+	p := paperParams()
+	p.EMiss = 0
+	if MinDeltaHitRate(p) != 1 {
+		t.Fatal("zero miss penalty should make compression unjustifiable")
+	}
+}
+
+func TestWorthwhileConsistentWithNetReduction(t *testing.T) {
+	f := func(a, e, fr, dh uint8) bool {
+		p := paperParams()
+		p.A = float64(a%100) / 100
+		p.E = float64(e%100) / 100
+		p.F = float64(fr%100) / 100
+		delta := float64(dh%100) / 100
+		// Worthwhile(Ineq 4) must agree with NetReduction > 0 (Ineq 3).
+		net := NetReduction(p, 1000, delta)
+		if Worthwhile(p, delta) {
+			return net > 0
+		}
+		return net <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// §III: increasing a, e, or f raises the required ΔR_hit; increasing
+	// E_miss lowers it.
+	base := paperParams()
+	m0 := MinDeltaHitRate(base)
+
+	up := base
+	up.A += 0.2
+	if MinDeltaHitRate(up) <= m0 {
+		t.Error("raising a must raise the threshold")
+	}
+	up = base
+	up.E += 0.2
+	if MinDeltaHitRate(up) <= m0 {
+		t.Error("raising e must raise the threshold")
+	}
+	up = base
+	up.F += 0.2
+	if MinDeltaHitRate(up) <= m0 {
+		t.Error("raising f must raise the threshold")
+	}
+	up = base
+	up.EMiss *= 2
+	if MinDeltaHitRate(up) >= m0 {
+		t.Error("raising E_miss must lower the threshold")
+	}
+	up = base
+	up.EComp *= 2
+	if MinDeltaHitRate(up) <= m0 {
+		t.Error("raising E_comp must raise the threshold")
+	}
+}
+
+func TestEnergyBenefitLinear(t *testing.T) {
+	p := paperParams()
+	if b := EnergyBenefit(p, 100, 0.1); math.Abs(b-0.1*100*50) > 1e-9 {
+		t.Fatalf("benefit = %v", b)
+	}
+}
+
+func TestFig3SurfaceShape(t *testing.T) {
+	misses := []float64{20, 50, 100}
+	pts := Fig3Surface(0.75, 0.5, 0.5, 1, 10, 10, misses)
+	if len(pts) != 30 {
+		t.Fatalf("points = %d, want 30", len(pts))
+	}
+	// Along increasing cost (same miss penalty): threshold rises.
+	for i := 1; i < 10; i++ {
+		if pts[i].MinDeltaHit <= pts[i-1].MinDeltaHit {
+			t.Fatal("threshold must rise with comp+decomp cost")
+		}
+	}
+	// Across miss penalties at the same cost: higher penalty → lower threshold.
+	if !(pts[0].MinDeltaHit > pts[10].MinDeltaHit && pts[10].MinDeltaHit > pts[20].MinDeltaHit) {
+		t.Fatal("threshold must fall as the miss penalty grows")
+	}
+}
+
+func TestFig3SubplotOrdering(t *testing.T) {
+	// Smaller (a, e, f) make compression easier to justify (§III).
+	small := Fig3Surface(0.25, 0.1, 0.1, 5, 5, 2, []float64{50})
+	large := Fig3Surface(0.75, 0.5, 0.5, 5, 5, 2, []float64{50})
+	if small[0].MinDeltaHit >= large[0].MinDeltaHit {
+		t.Fatal("smaller a/e/f should need a smaller hit-rate gain")
+	}
+}
+
+func TestFig3StepClamp(t *testing.T) {
+	pts := Fig3Surface(0.5, 0.1, 0.1, 1, 2, 1, []float64{10})
+	if len(pts) != 2 {
+		t.Fatalf("steps<2 must clamp to 2, got %d points", len(pts))
+	}
+}

@@ -1,0 +1,37 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	o := Default()
+	if o.Bits != 162 {
+		t.Fatalf("bits = %d, want 162", o.Bits)
+	}
+	if math.Abs(o.AreaMM2-0.000796) > 1e-9 {
+		t.Fatalf("area = %v mm², want 0.000796", o.AreaMM2)
+	}
+	// Paper: "only 0.14% of the core area". 0.000796/0.538 = 0.1479%.
+	if o.CorePercent < 0.13 || o.CorePercent > 0.16 {
+		t.Fatalf("core share = %v%%, want ≈0.14%%", o.CorePercent)
+	}
+}
+
+func TestCounterBitsScaling(t *testing.T) {
+	one := ForCounterBits(1)
+	three := ForCounterBits(3)
+	if one.Bits != 161 || three.Bits != 163 {
+		t.Fatalf("bits = %d / %d", one.Bits, three.Bits)
+	}
+	if !(one.AreaMM2 < Default().AreaMM2 && Default().AreaMM2 < three.AreaMM2) {
+		t.Fatal("area must grow with counter width")
+	}
+}
+
+func TestNegativeBits(t *testing.T) {
+	if RegisterBitsArea(-5) != 0 {
+		t.Fatal("negative bits should cost nothing")
+	}
+}

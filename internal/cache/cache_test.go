@@ -1,0 +1,570 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"kagura/internal/compress"
+	"kagura/internal/rng"
+)
+
+// mkBlock builds a 32B block of narrow integers (highly compressible).
+func mkBlock(seed byte) []byte {
+	b := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(seed)+uint32(i))
+	}
+	return b
+}
+
+// mkRandomBlock builds an incompressible block.
+func mkRandomBlock(r *rng.Source) []byte {
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = byte(r.Uint32())
+	}
+	return b
+}
+
+func newTestCache(t *testing.T, codec compress.Codec) *Cache {
+	t.Helper()
+	return New(DefaultConfig("DCache", codec))
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig("x", nil)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "a", SizeBytes: 0, Ways: 2, BlockSize: 32, TagFactor: 2, SegmentBytes: 4},
+		{Name: "b", SizeBytes: 100, Ways: 2, BlockSize: 32, TagFactor: 2, SegmentBytes: 4},
+		{Name: "c", SizeBytes: 256, Ways: 2, BlockSize: 32, TagFactor: 2, SegmentBytes: 5},
+		{Name: "d", SizeBytes: 256, Ways: 2, BlockSize: 32, TagFactor: 0, SegmentBytes: 4},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %s validated unexpectedly", cfg.Name)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTestCache(t, nil)
+	res := c.Access(0x100, false, nil, false, 0)
+	if res.Hit {
+		t.Fatal("cold access should miss")
+	}
+	c.Fill(0x100, mkBlock(1), false, false, false, 0)
+	res = c.Access(0x100, false, nil, false, 1)
+	if !res.Hit || res.Depth != 0 {
+		t.Fatalf("expected MRU hit, got %+v", res)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameBlockDifferentWords(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x100, mkBlock(1), false, false, false, 0)
+	if !c.Access(0x11C, false, nil, false, 1).Hit { // last word of block 0x100
+		t.Fatal("same-block access should hit")
+	}
+	if c.Access(0x120, false, nil, false, 2).Hit { // next block
+		t.Fatal("next block should miss")
+	}
+}
+
+func TestLRUEvictionUncompressed(t *testing.T) {
+	c := newTestCache(t, nil) // 4 sets, 2 ways
+	// Three blocks mapping to the same set: stride = numSets*blockSize = 128.
+	a, b, d := uint32(0x000), uint32(0x080), uint32(0x100)
+	c.Fill(a, mkBlock(1), false, false, false, 0)
+	c.Fill(b, mkBlock(2), false, false, false, 1)
+	res := c.Fill(d, mkBlock(3), false, false, false, 2)
+	if len(res.Evicted) != 1 || res.Evicted[0].Addr != a {
+		t.Fatalf("expected eviction of %#x, got %+v", a, res.Evicted)
+	}
+	if c.Contains(a) || !c.Contains(b) || !c.Contains(d) {
+		t.Fatal("wrong residency after eviction")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUOrderRespectsAccesses(t *testing.T) {
+	c := newTestCache(t, nil)
+	a, b, d := uint32(0x000), uint32(0x080), uint32(0x100)
+	c.Fill(a, mkBlock(1), false, false, false, 0)
+	c.Fill(b, mkBlock(2), false, false, false, 1)
+	c.Access(a, false, nil, false, 2) // promote a
+	res := c.Fill(d, mkBlock(3), false, false, false, 3)
+	if len(res.Evicted) != 1 || res.Evicted[0].Addr != b {
+		t.Fatalf("expected eviction of b=%#x, got %+v", b, res.Evicted)
+	}
+}
+
+func TestCompressionDoublesCapacity(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	// Four compressible blocks in one set: 2-way uncompressed would thrash,
+	// compressed (each ≤ half size) all four fit.
+	addrs := []uint32{0x000, 0x080, 0x100, 0x180}
+	for i, a := range addrs {
+		res := c.Fill(a, mkBlock(byte(i)), false, true, false, int64(i))
+		if !res.StoredCompressed {
+			t.Fatalf("block %d not stored compressed", i)
+		}
+		if len(res.Evicted) != 0 {
+			t.Fatalf("block %d caused evictions: %+v", i, res.Evicted)
+		}
+	}
+	for _, a := range addrs {
+		if !c.Contains(a) {
+			t.Fatalf("block %#x not resident; compression should fit all 4", a)
+		}
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitsBeyondWaysCounted(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	addrs := []uint32{0x000, 0x080, 0x100, 0x180}
+	for i, a := range addrs {
+		c.Fill(a, mkBlock(byte(i)), false, true, false, int64(i))
+	}
+	// The two LRU blocks sit at stack depths 2 and 3 (≥ ways).
+	res := c.Access(addrs[0], false, nil, false, 10)
+	if !res.Hit || res.Depth < 2 {
+		t.Fatalf("expected deep hit, got %+v", res)
+	}
+	if c.Stats().HitsBeyondWays != 1 {
+		t.Fatalf("HitsBeyondWays = %d, want 1", c.Stats().HitsBeyondWays)
+	}
+	if c.Stats().HitsCompressed != 1 {
+		t.Fatalf("HitsCompressed = %d, want 1", c.Stats().HitsCompressed)
+	}
+}
+
+func TestIncompressibleFillFallsBack(t *testing.T) {
+	r := rng.New(4)
+	c := newTestCache(t, compress.BDI{})
+	res := c.Fill(0x000, mkRandomBlock(r), false, true, false, 0)
+	if res.StoredCompressed {
+		t.Fatal("random block should not be stored compressed")
+	}
+	if res.Compressions != 0 {
+		t.Fatal("failed compression attempt should not count as a compression op")
+	}
+}
+
+func TestCompactionMakesRoom(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	// Two uncompressed fills fill the set; a third fill in compression mode
+	// should compact residents rather than evict.
+	c.Fill(0x000, mkBlock(1), false, false, false, 0)
+	c.Fill(0x080, mkBlock(2), false, false, false, 1)
+	res := c.Fill(0x100, mkBlock(3), false, true, false, 2)
+	if len(res.Evicted) != 0 {
+		t.Fatalf("expected compaction, got evictions %+v", res.Evicted)
+	}
+	if res.Compressions < 2 { // incoming + at least one resident
+		t.Fatalf("Compressions = %d, want >= 2", res.Compressions)
+	}
+	if !c.Contains(0x000) || !c.Contains(0x080) || !c.Contains(0x100) {
+		t.Fatal("all three blocks should be resident after compaction")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMakesDirtyAndDataSticks(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x100, mkBlock(1), false, false, false, 0)
+	wdata := []byte{0xde, 0xad, 0xbe, 0xef}
+	res := c.Access(0x104, true, wdata, false, 1)
+	if !res.Hit {
+		t.Fatal("write should hit")
+	}
+	got := make([]byte, 32)
+	c.ReadBlock(0x100, got)
+	if !bytes.Equal(got[4:8], wdata) {
+		t.Fatalf("write data not visible: %x", got[4:8])
+	}
+	dirty := c.DirtyBlocks()
+	if len(dirty) != 1 || dirty[0].Addr != 0x100 {
+		t.Fatalf("dirty blocks = %+v", dirty)
+	}
+}
+
+func TestWriteHitRecompress(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	c.Fill(0x100, mkBlock(1), false, true, false, 0)
+	res := c.Access(0x104, true, []byte{9, 0, 0, 0}, true, 1)
+	if !res.Hit || !res.Recompressed {
+		t.Fatalf("expected recompressed write hit, got %+v", res)
+	}
+	if c.Stats().Compressions < 2 {
+		t.Fatal("recompression should count a compression op")
+	}
+	got := make([]byte, 32)
+	c.ReadBlock(0x100, got)
+	if got[4] != 9 {
+		t.Fatal("write lost after recompression")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHitExpandWhenCompressionDisabled(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	// Fill set with 4 compressed blocks, then write one with compression
+	// disabled: the line expands and something must go.
+	addrs := []uint32{0x000, 0x080, 0x100, 0x180}
+	for i, a := range addrs {
+		c.Fill(a, mkBlock(byte(i)), false, true, false, int64(i))
+	}
+	res := c.Access(0x000, true, []byte{1, 2, 3, 4}, false, 10)
+	if !res.Hit || !res.Expanded {
+		t.Fatalf("expected expanding write, got %+v", res)
+	}
+	if len(res.Evicted) == 0 {
+		t.Fatal("expansion in a full set must evict")
+	}
+	for _, v := range res.Evicted {
+		if v.Addr == 0x000 {
+			t.Fatal("the written line itself must not be evicted")
+		}
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteIncompressibleAfterRecompress(t *testing.T) {
+	r := rng.New(9)
+	c := newTestCache(t, compress.BDI{})
+	c.Fill(0x100, mkBlock(1), false, true, false, 0)
+	// Overwrite first word with random data repeatedly to make the block
+	// incompressible; line should convert to uncompressed without error.
+	for w := 0; w < 8; w++ {
+		junk := make([]byte, 4)
+		for i := range junk {
+			junk[i] = byte(r.Uint32())
+		}
+		c.Access(0x100+uint32(w*4), true, junk, true, int64(w+1))
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyEvictionVictimData(t *testing.T) {
+	c := newTestCache(t, nil)
+	data := mkBlock(7)
+	c.Fill(0x000, data, true, false, false, 0)
+	c.Fill(0x080, mkBlock(8), false, false, false, 1)
+	res := c.Fill(0x100, mkBlock(9), false, false, false, 2)
+	if len(res.Evicted) != 1 {
+		t.Fatalf("evictions = %+v", res.Evicted)
+	}
+	v := res.Evicted[0]
+	if !v.Dirty || !bytes.Equal(v.Data, data) {
+		t.Fatalf("victim = %+v, want dirty original data", v)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Fatal("dirty eviction not counted")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := newTestCache(t, compress.BDI{})
+	for i := uint32(0); i < 8; i++ {
+		c.Fill(i*32, mkBlock(byte(i)), i%2 == 0, true, false, int64(i))
+	}
+	if c.LiveBlocks() == 0 {
+		t.Fatal("expected resident blocks")
+	}
+	c.InvalidateAll()
+	if c.LiveBlocks() != 0 || len(c.DirtyBlocks()) != 0 {
+		t.Fatal("invalidate left residents")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Cache still usable after invalidation.
+	c.Fill(0x40, mkBlock(1), false, true, false, 100)
+	if !c.Contains(0x40) {
+		t.Fatal("fill after invalidate failed")
+	}
+}
+
+func TestCleanAll(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x00, mkBlock(1), true, false, false, 0)
+	if len(c.DirtyBlocks()) != 1 {
+		t.Fatal("expected one dirty block")
+	}
+	c.CleanAll()
+	if len(c.DirtyBlocks()) != 0 {
+		t.Fatal("CleanAll left dirty blocks")
+	}
+	if !c.Contains(0x00) {
+		t.Fatal("CleanAll must not evict")
+	}
+}
+
+func TestRedundantFillKeepsDirtyData(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x100, mkBlock(1), false, false, false, 0)
+	c.Access(0x100, true, []byte{0xAA, 0xBB, 0xCC, 0xDD}, false, 1)
+	// A prefetch-style redundant fill with stale NVM data must not clobber
+	// the dirty line.
+	c.Fill(0x100, mkBlock(2), false, false, true, 2)
+	got := make([]byte, 32)
+	c.ReadBlock(0x100, got)
+	if got[0] != 0xAA {
+		t.Fatal("redundant fill clobbered dirty data")
+	}
+}
+
+func TestPrefetchLowPriorityInsert(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x000, mkBlock(1), false, false, false, 0)
+	c.Fill(0x080, mkBlock(2), false, false, true, 1) // low priority
+	// Next fill must evict the prefetched (LRU) block, not the demand block.
+	res := c.Fill(0x100, mkBlock(3), false, false, false, 2)
+	if len(res.Evicted) != 1 || res.Evicted[0].Addr != 0x080 {
+		t.Fatalf("expected prefetched block evicted, got %+v", res.Evicted)
+	}
+	if c.Stats().PrefetchFills != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+}
+
+func TestDecaySweep(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Fill(0x000, mkBlock(1), true, false, false, 0)
+	c.Fill(0x080, mkBlock(2), false, false, false, 500)
+	victims := c.DecaySweep(1000, 600)
+	if !c.Contains(0x080) {
+		t.Fatal("recently used block decayed")
+	}
+	if c.Contains(0x000) {
+		t.Fatal("idle block survived decay")
+	}
+	if len(victims) != 1 || victims[0].Addr != 0x000 || !victims[0].Dirty {
+		t.Fatalf("victims = %+v", victims)
+	}
+	if c.Stats().DecayEvictions != 1 {
+		t.Fatal("decay eviction not counted")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveBytes(t *testing.T) {
+	c := newTestCache(t, nil)
+	if c.LiveBytes() != 0 {
+		t.Fatal("empty cache has live bytes")
+	}
+	c.Fill(0x00, mkBlock(1), false, false, false, 0)
+	if c.LiveBytes() != 32 {
+		t.Fatalf("LiveBytes = %d, want 32", c.LiveBytes())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := newTestCache(t, nil)
+	c.Access(0x00, false, nil, false, 0) // miss
+	c.Fill(0x00, mkBlock(1), false, false, false, 0)
+	c.Access(0x00, false, nil, false, 1) // hit
+	if mr := c.Stats().MissRate(); mr != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", mr)
+	}
+	var empty Stats
+	if empty.MissRate() != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+}
+
+func TestDirectMappedWorks(t *testing.T) {
+	cfg := DefaultConfig("dm", compress.BDI{})
+	cfg.Ways = 1
+	c := New(cfg)
+	// 8 sets now. Same-set stride is 256.
+	c.Fill(0x000, mkBlock(1), false, true, false, 0)
+	res := c.Fill(0x100, mkBlock(2), false, true, false, 1)
+	// Both compress to < half block, so both fit in the single way's segments.
+	if len(res.Evicted) != 0 {
+		t.Fatalf("compressed direct-mapped set should hold both: %+v", res.Evicted)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	r := rng.New(1234)
+	for _, codec := range []compress.Codec{nil, compress.BDI{}, compress.FPC{}, compress.CPack{}, compress.DZC{}} {
+		c := newTestCache(t, codec)
+		for step := 0; step < 5000; step++ {
+			addr := uint32(r.Intn(64)) * 32 // 64 blocks, 2KB footprint
+			now := int64(step)
+			tryCompress := codec != nil && r.Float64() < 0.7
+			switch r.Intn(10) {
+			case 0, 1, 2, 3, 4: // read
+				res := c.Access(addr, false, nil, tryCompress, now)
+				if !res.Hit {
+					var blk []byte
+					if r.Float64() < 0.5 {
+						blk = mkBlock(byte(addr))
+					} else {
+						blk = mkRandomBlock(r)
+					}
+					c.Fill(addr, blk, false, tryCompress, false, now)
+				}
+			case 5, 6, 7: // write
+				w := []byte{byte(r.Uint32()), 0, 0, byte(r.Uint32())}
+				res := c.Access(addr+uint32(r.Intn(8))*4, true, w, tryCompress, now)
+				if !res.Hit {
+					c.Fill(addr, mkBlock(byte(addr)), true, tryCompress, false, now)
+				}
+			case 8: // decay
+				c.DecaySweep(now, 1000)
+			case 9: // power failure
+				if r.Float64() < 0.1 {
+					c.InvalidateAll()
+				}
+			}
+			if step%500 == 0 {
+				if err := c.checkInvariants(); err != nil {
+					t.Fatalf("codec %v step %d: %v", codec, step, err)
+				}
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("codec %v final: %v", codec, err)
+		}
+	}
+}
+
+func TestDataFidelityUnderCompression(t *testing.T) {
+	// Whatever the cache does internally, ReadBlock must always return the
+	// exact bytes last written. Shadow model: map of block -> contents.
+	r := rng.New(777)
+	c := newTestCache(t, compress.BDI{})
+	shadow := make(map[uint32][]byte)
+	for step := 0; step < 3000; step++ {
+		addr := uint32(r.Intn(16)) * 32
+		now := int64(step)
+		if _, ok := shadow[addr]; !ok || !c.Contains(addr) {
+			blk := mkBlock(byte(r.Uint32()))
+			c.Fill(addr, blk, false, true, false, now)
+			shadow[addr] = append([]byte(nil), blk...)
+			continue
+		}
+		off := uint32(r.Intn(8)) * 4
+		w := []byte{byte(r.Uint32()), byte(r.Uint32()), 0, 0}
+		res := c.Access(addr+off, true, w, true, now)
+		if res.Hit {
+			copy(shadow[addr][off:], w)
+			got := make([]byte, 32)
+			c.ReadBlock(addr, got)
+			if !bytes.Equal(got, shadow[addr]) {
+				t.Fatalf("step %d: block %#x contents diverged", step, addr)
+			}
+		}
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(DefaultConfig("bench", compress.BDI{}))
+	c.Fill(0x100, mkBlock(1), false, true, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x100, false, nil, true, int64(i))
+	}
+}
+
+func BenchmarkFillCompressed(b *testing.B) {
+	c := New(DefaultConfig("bench", compress.BDI{}))
+	blk := mkBlock(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint32(i%64)*32, blk, false, true, false, int64(i))
+	}
+}
+
+func TestFIFONoPromotion(t *testing.T) {
+	cfg := DefaultConfig("fifo", nil)
+	cfg.Replacement = ReplFIFO
+	c := New(cfg)
+	a, b, d := uint32(0x000), uint32(0x080), uint32(0x100)
+	c.Fill(a, mkBlock(1), false, false, false, 0)
+	c.Fill(b, mkBlock(2), false, false, false, 1)
+	c.Access(a, false, nil, false, 2) // must NOT promote under FIFO
+	res := c.Fill(d, mkBlock(3), false, false, false, 3)
+	if len(res.Evicted) != 1 || res.Evicted[0].Addr != a {
+		t.Fatalf("FIFO should evict oldest-inserted a, got %+v", res.Evicted)
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	run := func() []uint32 {
+		cfg := DefaultConfig("rand", nil)
+		cfg.Replacement = ReplRandom
+		c := New(cfg)
+		var evicted []uint32
+		for i := uint32(0); i < 12; i++ {
+			res := c.Fill(i*128, mkBlock(byte(i)), false, false, false, int64(i))
+			for _, v := range res.Evicted {
+				evicted = append(evicted, v.Addr)
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return evicted
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("expected evictions")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random replacement must be deterministic across runs")
+		}
+	}
+}
+
+func TestReplacementStrings(t *testing.T) {
+	if ReplLRU.String() != "LRU" || ReplFIFO.String() != "FIFO" || ReplRandom.String() != "Random" {
+		t.Fatal("replacement names wrong")
+	}
+}
+
+func TestRandomReplacementInvariantsUnderChurn(t *testing.T) {
+	r := rng.New(99)
+	cfg := DefaultConfig("rand", compress.BDI{})
+	cfg.Replacement = ReplRandom
+	c := New(cfg)
+	for step := 0; step < 3000; step++ {
+		addr := uint32(r.Intn(48)) * 32
+		if res := c.Access(addr, false, nil, true, int64(step)); !res.Hit {
+			c.Fill(addr, mkBlock(byte(addr)), r.Float64() < 0.3, true, false, int64(step))
+		}
+		if step%500 == 0 {
+			if err := c.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package capacitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadOrdering(t *testing.T) {
+	bad := []Config{
+		{CapacitanceFarads: 0, VMax: 3.3, VRst: 3, VCkpt: 2.9, VMin: 2.8},
+		{CapacitanceFarads: 1e-6, VMax: 3.3, VRst: 3, VCkpt: 3.1, VMin: 2.8},
+		{CapacitanceFarads: 1e-6, VMax: 2.0, VRst: 3, VCkpt: 2.9, VMin: 2.8},
+		{CapacitanceFarads: 1e-6, VMax: 3.3, VRst: 3, VCkpt: 2.9, VMin: 2.95},
+		{CapacitanceFarads: 1e-6, VMax: 3.3, VRst: 3, VCkpt: 2.9, VMin: 2.8, LeakConductance: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly: %+v", i, cfg)
+		}
+	}
+}
+
+func TestEnergyBudgets(t *testing.T) {
+	cfg := Default()
+	want := 0.5 * 4.7e-6 * (3.0*3.0 - 2.995*2.995)
+	if got := cfg.OperatingBudget(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("operating budget %g, want %g", got, want)
+	}
+	if cfg.CheckpointReserve() <= 0 {
+		t.Fatal("checkpoint reserve must be positive")
+	}
+}
+
+func TestNewStartsAtRestore(t *testing.T) {
+	s, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AboveRestore() {
+		t.Fatal("new capacitor should be at V_rst")
+	}
+	if math.Abs(s.Voltage()-3.0) > 1e-9 {
+		t.Fatalf("voltage = %v, want 3.0", s.Voltage())
+	}
+}
+
+func TestHarvestClampsAtVMax(t *testing.T) {
+	s, _ := New(Default())
+	absorbed := s.Harvest(1.0) // 1 joule, far beyond capacity
+	ceiling := 0.5 * 4.7e-6 * 3.3 * 3.3
+	if math.Abs(s.Energy()-ceiling) > 1e-12 {
+		t.Fatalf("energy = %g, want ceiling %g", s.Energy(), ceiling)
+	}
+	if absorbed >= 1.0 {
+		t.Fatalf("absorbed %g should be less than offered", absorbed)
+	}
+	if s.Harvest(-1) != 0 {
+		t.Fatal("negative harvest should absorb nothing")
+	}
+}
+
+func TestDrainFloorsAtZero(t *testing.T) {
+	s, _ := New(Default())
+	s.Drain(1.0)
+	if s.Energy() != 0 {
+		t.Fatalf("energy = %g, want 0", s.Energy())
+	}
+	s.Drain(-1) // no-op
+	if s.Energy() != 0 {
+		t.Fatal("negative drain changed energy")
+	}
+}
+
+func TestThresholdCrossing(t *testing.T) {
+	s, _ := New(Default())
+	if s.BelowCheckpoint() {
+		t.Fatal("fresh capacitor should be above checkpoint")
+	}
+	s.Drain(s.Config().OperatingBudget() + 1e-12)
+	if !s.BelowCheckpoint() {
+		t.Fatal("should be below checkpoint after draining the budget")
+	}
+	if s.AboveRestore() {
+		t.Fatal("should be below restore after draining")
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	s, _ := New(Default())
+	h := s.HeadroomAboveCheckpoint()
+	if math.Abs(h-s.Config().OperatingBudget()) > 1e-12 {
+		t.Fatalf("headroom %g, want budget %g", h, s.Config().OperatingBudget())
+	}
+	s.Drain(s.Energy())
+	if s.HeadroomAboveCheckpoint() != 0 {
+		t.Fatal("headroom should clamp at 0")
+	}
+}
+
+func TestLeakScalesWithCapacitance(t *testing.T) {
+	small, _ := New(Default().WithCapacitance(0.47e-6))
+	big, _ := New(Default().WithCapacitance(1000e-6))
+	ls := small.Leak(1.0)
+	lb := big.Leak(1.0)
+	if lb <= ls {
+		t.Fatalf("big capacitor should leak more: %g vs %g", lb, ls)
+	}
+	if small.Leaked() != ls || big.Leaked() != lb {
+		t.Fatal("cumulative leak accounting wrong")
+	}
+}
+
+func TestLeakNeverNegative(t *testing.T) {
+	s, _ := New(Default())
+	if s.Leak(-5) != 0 || s.Leak(0) != 0 {
+		t.Fatal("non-positive dt must not leak")
+	}
+	s.Drain(s.Energy())
+	if s.Leak(10) != 0 {
+		t.Fatal("empty capacitor cannot leak")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Harvest + initial = final + drained + leaked (when no VMax clamping).
+	f := func(ops []uint8) bool {
+		s, _ := New(Default())
+		initial := s.Energy()
+		var harvested, drained float64
+		for _, op := range ops {
+			amt := float64(op) * 1e-9
+			switch op % 3 {
+			case 0:
+				harvested += s.Harvest(amt)
+			case 1:
+				before := s.Energy()
+				s.Drain(amt)
+				drained += before - s.Energy()
+			case 2:
+				s.Leak(float64(op) * 1e-3)
+			}
+		}
+		total := initial + harvested
+		final := s.Energy() + drained + s.Leaked()
+		return math.Abs(total-final) < 1e-15+1e-9*total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltageMonotonicInEnergy(t *testing.T) {
+	s, _ := New(Default())
+	v1 := s.Voltage()
+	s.Drain(1e-7)
+	if s.Voltage() >= v1 {
+		t.Fatal("voltage should fall when drained")
+	}
+}

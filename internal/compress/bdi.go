@@ -1,0 +1,267 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al., PACT
+// 2012), the paper's default algorithm (Table I). BDI exploits intra-block
+// value similarity: the block is split into k-byte words, one word serves as
+// a shared base, and every word is stored either as a small delta from the
+// base or as a small immediate (a delta from an implicit zero base). A
+// per-word mask records which base each word uses.
+type BDI struct{}
+
+// bdiScheme identifies one encoding option.
+type bdiScheme byte
+
+const (
+	bdiZeros bdiScheme = iota // all-zero block
+	bdiRep8                   // repeated 8-byte value
+	bdiB8D1                   // 8-byte base, 1-byte deltas
+	bdiB8D2                   // 8-byte base, 2-byte deltas
+	bdiB8D4                   // 8-byte base, 4-byte deltas
+	bdiB4D1                   // 4-byte base, 1-byte deltas
+	bdiB4D2                   // 4-byte base, 2-byte deltas
+	bdiB2D1                   // 2-byte base, 1-byte deltas
+	bdiSchemeCount
+)
+
+// geometry returns the (base width, delta width) of a base-delta scheme.
+func (s bdiScheme) geometry() (k, d int) {
+	switch s {
+	case bdiB8D1:
+		return 8, 1
+	case bdiB8D2:
+		return 8, 2
+	case bdiB8D4:
+		return 8, 4
+	case bdiB4D1:
+		return 4, 1
+	case bdiB4D2:
+		return 4, 2
+	case bdiB2D1:
+		return 2, 1
+	}
+	return 0, 0
+}
+
+func (BDI) Name() string                   { return "BDI" }
+func (BDI) CompressLatency() int           { return 2 }
+func (BDI) DecompressLatency() int         { return 1 }
+func (BDI) CompressEnergyScale() float64   { return 1.0 }
+func (BDI) DecompressEnergyScale() float64 { return 1.0 }
+
+// loadWord reads a little-endian k-byte word.
+func loadWord(b []byte, k int) uint64 {
+	switch k {
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// storeWord writes a little-endian k-byte word.
+func storeWord(b []byte, k int, v uint64) {
+	switch k {
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// fitsDelta reports whether signed delta v fits in d bytes.
+func fitsDelta(v int64, d int) bool {
+	min := int64(-1) << uint(8*d-1)
+	max := -min - 1
+	return v >= min && v <= max
+}
+
+// Compress tries every BDI scheme and returns the smallest encoding.
+func (BDI) Compress(block []byte) ([]byte, int, bool) {
+	n := len(block)
+	if n == 0 || n%8 != 0 {
+		return nil, 0, false
+	}
+
+	// All-zero check.
+	allZero := true
+	for _, b := range block {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		enc := []byte{byte(bdiZeros)}
+		return enc, len(enc), true
+	}
+
+	// Repeated 8-byte value.
+	first := binary.LittleEndian.Uint64(block)
+	rep := true
+	for off := 8; off < n; off += 8 {
+		if binary.LittleEndian.Uint64(block[off:]) != first {
+			rep = false
+			break
+		}
+	}
+	if rep {
+		enc := make([]byte, 9)
+		enc[0] = byte(bdiRep8)
+		binary.LittleEndian.PutUint64(enc[1:], first)
+		return enc, len(enc), true
+	}
+
+	var best []byte
+	for s := bdiB8D1; s < bdiSchemeCount; s++ {
+		if enc, ok := bdiTryScheme(block, s); ok {
+			if best == nil || len(enc) < len(best) {
+				best = enc
+			}
+		}
+	}
+	if best == nil || len(best) >= n {
+		return nil, 0, false
+	}
+	return best, len(best), true
+}
+
+// bdiTryScheme attempts one base-delta geometry. The base is the first word
+// that does not fit as an immediate from the implicit zero base, matching the
+// hardware's single-pass base selection.
+func bdiTryScheme(block []byte, s bdiScheme) ([]byte, bool) {
+	k, d := s.geometry()
+	n := len(block)
+	if n%k != 0 {
+		return nil, false
+	}
+	words := n / k
+
+	// Select base: the first word not representable as a d-byte immediate.
+	var base uint64
+	haveBase := false
+	for off := 0; off < n; off += k {
+		w := loadWord(block[off:], k)
+		if !fitsDelta(int64(signK(w, k)), d) {
+			base = w
+			haveBase = true
+			break
+		}
+	}
+
+	maskBytes := (words + 7) / 8
+	enc := make([]byte, 0, 1+maskBytes+k+words*d)
+	enc = append(enc, byte(s))
+	mask := make([]byte, maskBytes) // bit set ⇒ word uses the zero base
+	deltas := make([]byte, 0, words*d)
+
+	for i, off := 0, 0; off < n; i, off = i+1, off+k {
+		w := loadWord(block[off:], k)
+		sw := signK(w, k)
+		if fitsDelta(sw, d) {
+			mask[i/8] |= 1 << uint(i%8)
+			deltas = appendDelta(deltas, sw, d)
+			continue
+		}
+		if !haveBase {
+			return nil, false
+		}
+		delta := sw - signK(base, k)
+		if !fitsDelta(delta, d) {
+			return nil, false
+		}
+		deltas = appendDelta(deltas, delta, d)
+	}
+
+	enc = append(enc, mask...)
+	baseBytes := make([]byte, k)
+	storeWord(baseBytes, k, base)
+	enc = append(enc, baseBytes...)
+	enc = append(enc, deltas...)
+	return enc, true
+}
+
+// signK sign-extends a k-byte little-endian word to int64.
+func signK(w uint64, k int) int64 {
+	shift := uint(64 - 8*k)
+	return int64(w<<shift) >> shift
+}
+
+// appendDelta appends the low d bytes of the two's-complement delta.
+func appendDelta(dst []byte, v int64, d int) []byte {
+	for i := 0; i < d; i++ {
+		dst = append(dst, byte(v>>uint(8*i)))
+	}
+	return dst
+}
+
+// readDelta reads a d-byte two's-complement delta.
+func readDelta(src []byte, d int) int64 {
+	var v uint64
+	for i := 0; i < d; i++ {
+		v |= uint64(src[i]) << uint(8*i)
+	}
+	shift := uint(64 - 8*d)
+	return int64(v<<shift) >> shift
+}
+
+// Decompress reconstructs a BDI-encoded block.
+func (BDI) Decompress(enc []byte, dst []byte) error {
+	if len(enc) == 0 {
+		return fmt.Errorf("bdi: empty encoding")
+	}
+	s := bdiScheme(enc[0])
+	n := len(dst)
+	switch s {
+	case bdiZeros:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	case bdiRep8:
+		if len(enc) < 9 || n%8 != 0 {
+			return fmt.Errorf("bdi: malformed rep8 encoding")
+		}
+		v := binary.LittleEndian.Uint64(enc[1:])
+		for off := 0; off < n; off += 8 {
+			binary.LittleEndian.PutUint64(dst[off:], v)
+		}
+		return nil
+	}
+	k, d := s.geometry()
+	if k == 0 {
+		return fmt.Errorf("bdi: unknown scheme %d", s)
+	}
+	if n%k != 0 {
+		return fmt.Errorf("bdi: block size %d not divisible by base %d", n, k)
+	}
+	words := n / k
+	maskBytes := (words + 7) / 8
+	need := 1 + maskBytes + k + words*d
+	if len(enc) < need {
+		return fmt.Errorf("bdi: truncated encoding: %d < %d", len(enc), need)
+	}
+	mask := enc[1 : 1+maskBytes]
+	base := signK(loadWord(enc[1+maskBytes:], k), k)
+	deltas := enc[1+maskBytes+k:]
+
+	for i, off := 0, 0; off < n; i, off = i+1, off+k {
+		delta := readDelta(deltas[i*d:], d)
+		var v int64
+		if mask[i/8]&(1<<uint(i%8)) != 0 {
+			v = delta // immediate from zero base
+		} else {
+			v = base + delta
+		}
+		storeWord(dst[off:], k, uint64(v))
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package compress
+
+// bitWriter accumulates an MSB-first bit stream, mirroring how the hardware
+// encodings of FPC and C-Pack pack variable-width fields.
+type bitWriter struct {
+	buf  []byte
+	nbit int // bits written so far
+}
+
+// writeBits appends the low n bits of v, MSB first. n must be in [0, 32].
+func (w *bitWriter) writeBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// bits returns the total number of bits written.
+func (w *bitWriter) bits() int { return w.nbit }
+
+// bytes returns the backing buffer (final partial byte zero-padded).
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes an MSB-first bit stream produced by bitWriter.
+type bitReader struct {
+	buf  []byte
+	nbit int // bits consumed so far
+}
+
+// readBits reads n bits (MSB first) and returns them right-aligned. Reading
+// past the end returns zero bits (padding), matching bitWriter's zero pad.
+func (r *bitReader) readBits(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		v <<= 1
+		byteIdx := r.nbit / 8
+		if byteIdx < len(r.buf) {
+			v |= uint32(r.buf[byteIdx]>>uint(7-r.nbit%8)) & 1
+		}
+		r.nbit++
+	}
+	return v
+}
+
+// remaining reports how many bits are left before the buffer ends.
+func (r *bitReader) remaining() int { return len(r.buf)*8 - r.nbit }
+
+// signExtend interprets the low n bits of v as a two's-complement integer.
+func signExtend(v uint32, n int) int32 {
+	shift := uint(32 - n)
+	return int32(v<<shift) >> shift
+}
+
+// fitsSigned reports whether the 32-bit word v, viewed as signed, fits in n
+// bits of two's complement.
+func fitsSigned(v uint32, n int) bool {
+	s := int32(v)
+	min := int32(-1) << uint(n-1)
+	max := -min - 1
+	return s >= min && s <= max
+}
+
+// bitsToBytes rounds a bit count up to whole bytes.
+func bitsToBytes(n int) int { return (n + 7) / 8 }

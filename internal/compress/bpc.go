@@ -1,0 +1,248 @@
+package compress
+
+import "fmt"
+
+// BPC implements Bit-Plane Compression (Kim et al., ISCA 2016), one of the
+// related compressors the paper surveys (§IX). BPC targets homogeneous
+// numeric data: it computes deltas between neighboring 32-bit words,
+// transposes the deltas into bit-planes (DBP), XORs adjacent planes (DBX) to
+// expose long runs of zero planes, and run-length/pattern-encodes the
+// planes. Decompression reverses each transform: decode planes → un-XOR →
+// transpose back → prefix-sum from the base word.
+//
+// The implementation follows the original's encoding table for a block of
+// W+1 words (W deltas, 33-bit two's complement, so W bit-planes of width W
+// over 33 planes):
+//
+//	zero-DBX run (1–32)    → 001 + 5-bit run length (plane repeats)
+//	all-ones plane         → 00000
+//	DBX≠0 but DBP=0        → 00001
+//	single one             → 00010 + log2 position
+//	two consecutive ones   → 00011 + log2 position of the first
+//	uncompressed plane     → 01 + raw plane bits
+//
+// The base word is emitted raw after a 1-bit zero flag (0 ⇒ base is zero and
+// omitted).
+type BPC struct{}
+
+func (BPC) Name() string                   { return "BPC" }
+func (BPC) CompressLatency() int           { return 6 }
+func (BPC) DecompressLatency() int         { return 6 }
+func (BPC) CompressEnergyScale() float64   { return 1.6 }
+func (BPC) DecompressEnergyScale() float64 { return 1.7 }
+
+const bpcPlanes = 33 // 33-bit deltas
+
+// bpcGeometry returns the delta count for a block; ok is false for
+// unsupported block sizes.
+func bpcGeometry(blockBytes int) (deltas int, ok bool) {
+	if blockBytes%4 != 0 || blockBytes < 8 {
+		return 0, false
+	}
+	words := blockBytes / 4
+	if words-1 > 32 {
+		// Positions must fit the 5-bit fields of the encoding table.
+		return 0, false
+	}
+	return words - 1, true
+}
+
+// bpcPlanesOf computes the DBP planes for a block: plane p holds bit p of
+// every delta, delta 0 in the MSB of the plane.
+func bpcPlanesOf(block []byte, deltas int) [bpcPlanes]uint64 {
+	var dbp [bpcPlanes]uint64
+	prev := word32(block, 0)
+	for i := 0; i < deltas; i++ {
+		cur := word32(block, i+1)
+		// 33-bit two's-complement delta.
+		d := uint64(int64(int32(cur))-int64(int32(prev))) & ((1 << 33) - 1)
+		prev = cur
+		for p := 0; p < bpcPlanes; p++ {
+			if d>>uint(p)&1 != 0 {
+				dbp[p] |= 1 << uint(deltas-1-i)
+			}
+		}
+	}
+	return dbp
+}
+
+// Compress encodes the block.
+func (BPC) Compress(block []byte) ([]byte, int, bool) {
+	deltas, ok := bpcGeometry(len(block))
+	if !ok {
+		return nil, 0, false
+	}
+	dbp := bpcPlanesOf(block, deltas)
+	planeMask := uint64(1)<<uint(deltas) - 1
+
+	var w bitWriter
+	// Base word: 1-bit zero flag, then raw 32 bits if nonzero.
+	base := word32(block, 0)
+	if base == 0 {
+		w.writeBits(0, 1)
+	} else {
+		w.writeBits(1, 1)
+		w.writeBits(base, 32)
+	}
+
+	// DBX planes, MSB plane first, with zero-run coalescing.
+	posBits := bitsFor(deltas)
+	for p := bpcPlanes - 1; p >= 0; {
+		var dbx uint64
+		if p == bpcPlanes-1 {
+			dbx = dbp[p]
+		} else {
+			dbx = dbp[p] ^ dbp[p+1]
+		}
+		if dbx == 0 {
+			// Zero DBX means the plane repeats its neighbor; run-length
+			// encode consecutive repeats.
+			run := 1
+			for p-run >= 0 && run < 32 {
+				q := p - run
+				if dbp[q]^dbp[q+1] != 0 {
+					break
+				}
+				run++
+			}
+			w.writeBits(0b001, 3)
+			w.writeBits(uint32(run-1), 5)
+			p -= run
+			continue
+		}
+		switch {
+		case dbx == planeMask:
+			w.writeBits(0b00000, 5)
+		case dbx != 0 && dbp[p] == 0:
+			w.writeBits(0b00001, 5)
+		case popcount(dbx) == 1:
+			w.writeBits(0b00010, 5)
+			w.writeBits(uint32(trailing(dbx)), posBits)
+		case isTwoConsecutive(dbx):
+			w.writeBits(0b00011, 5)
+			w.writeBits(uint32(trailing(dbx)), posBits)
+		default:
+			w.writeBits(0b01, 2)
+			w.writeBits(uint32(dbx), deltas)
+		}
+		p--
+	}
+	size := bitsToBytes(w.bits())
+	if size >= len(block) {
+		return nil, 0, false
+	}
+	return w.bytes(), size, true
+}
+
+// Decompress reconstructs a BPC-encoded block.
+func (BPC) Decompress(enc []byte, dst []byte) error {
+	deltas, ok := bpcGeometry(len(dst))
+	if !ok {
+		return fmt.Errorf("bpc: unsupported block size %d", len(dst))
+	}
+	planeMask := uint64(1)<<uint(deltas) - 1
+	posBits := bitsFor(deltas)
+	r := bitReader{buf: enc}
+
+	var base uint32
+	if r.readBits(1) == 1 {
+		base = r.readBits(32)
+	}
+
+	// Decode planes MSB-first; DBP[p] = DBX[p] XOR DBP[p+1].
+	var dbp [bpcPlanes]uint64
+	prevDBP := uint64(0) // DBP[p+1] while walking down
+	for p := bpcPlanes - 1; p >= 0; {
+		if r.remaining() < 2 {
+			return fmt.Errorf("bpc: truncated encoding at plane %d", p)
+		}
+		if r.readBits(2) == 0b01 { // raw plane
+			dbx := uint64(r.readBits(deltas))
+			dbp[p] = dbx ^ prevDBP
+			prevDBP = dbp[p]
+			p--
+			continue
+		}
+		// Third bit distinguishes 001 (zero run) from 000xx.
+		if r.readBits(1) == 1 {
+			run := int(r.readBits(5)) + 1
+			if run > p+1 {
+				return fmt.Errorf("bpc: zero run %d overflows planes", run)
+			}
+			for k := 0; k < run; k++ {
+				dbp[p] = prevDBP // DBX = 0 ⇒ plane repeats
+				p--
+			}
+			continue
+		}
+		var dbx uint64
+		switch r.readBits(2) {
+		case 0b00:
+			dbx = planeMask
+		case 0b01: // DBX≠0, DBP=0 ⇒ plane equals previous DBP
+			dbp[p] = 0
+			prevDBP = 0
+			p--
+			continue
+		case 0b10:
+			dbx = 1 << uint(r.readBits(posBits))
+		case 0b11:
+			dbx = 0b11 << uint(r.readBits(posBits))
+		}
+		dbp[p] = (dbx ^ prevDBP) & planeMask
+		prevDBP = dbp[p]
+		p--
+	}
+
+	// Transpose planes back to deltas and prefix-sum from the base.
+	putWord32(dst, 0, base)
+	prev := base
+	for i := 0; i < deltas; i++ {
+		var d uint64
+		for p := 0; p < bpcPlanes; p++ {
+			if dbp[p]>>uint(deltas-1-i)&1 != 0 {
+				d |= 1 << uint(p)
+			}
+		}
+		// Sign-extend the 33-bit delta.
+		sd := int64(d<<31) >> 31
+		prev = uint32(int64(int32(prev)) + sd)
+		putWord32(dst, i+1, prev)
+	}
+	return nil
+}
+
+// popcount counts set bits.
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// trailing returns the index of the lowest set bit.
+func trailing(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// isTwoConsecutive reports whether v is exactly two adjacent set bits.
+func isTwoConsecutive(v uint64) bool {
+	t := trailing(v)
+	return v == 0b11<<uint(t)
+}
+
+// bitsFor returns the bits needed to index n positions.
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,505 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"kagura/internal/rng"
+)
+
+// patternBlock builders exercise the data shapes each codec targets.
+func zeroBlock(n int) []byte { return make([]byte, n) }
+
+func narrowIntBlock(n int, r *rng.Source) []byte {
+	b := make([]byte, n)
+	for off := 0; off < n; off += 4 {
+		v := int32(r.Intn(255) - 127)
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+	}
+	return b
+}
+
+func baseDeltaBlock(n int, r *rng.Source) []byte {
+	b := make([]byte, n)
+	base := uint64(0x1000_2000_3000_4000)
+	for off := 0; off < n; off += 8 {
+		binary.LittleEndian.PutUint64(b[off:], base+uint64(r.Intn(100)))
+	}
+	return b
+}
+
+func repeatedBlock(n int) []byte {
+	b := make([]byte, n)
+	for off := 0; off < n; off += 8 {
+		binary.LittleEndian.PutUint64(b[off:], 0xDEADBEEFCAFEF00D)
+	}
+	return b
+}
+
+func sparseBlock(n int, r *rng.Source) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		if r.Float64() < 0.2 {
+			b[i] = byte(1 + r.Intn(255))
+		}
+	}
+	return b
+}
+
+func randomBlock(n int, r *rng.Source) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Uint32())
+	}
+	return b
+}
+
+func roundTrip(t *testing.T, c Codec, block []byte) {
+	t.Helper()
+	enc, size, ok := c.Compress(block)
+	if !ok {
+		return // incompressible is a legal outcome
+	}
+	if size <= 0 || size >= len(block) {
+		t.Fatalf("%s: claimed size %d for %d-byte block", c.Name(), size, len(block))
+	}
+	if len(enc) > size+4 { // encoding buffer should be close to claimed size
+		t.Fatalf("%s: encoding %dB exceeds claimed size %dB", c.Name(), len(enc), size)
+	}
+	dst := make([]byte, len(block))
+	if err := c.Decompress(enc, dst); err != nil {
+		t.Fatalf("%s: decompress: %v", c.Name(), err)
+	}
+	if !bytes.Equal(dst, block) {
+		t.Fatalf("%s: round trip mismatch\n in: %x\nout: %x", c.Name(), block, dst)
+	}
+}
+
+func TestRoundTripStructured(t *testing.T) {
+	r := rng.New(99)
+	for _, c := range Extended() {
+		for _, n := range []int{16, 32, 64} {
+			for trial := 0; trial < 50; trial++ {
+				roundTrip(t, c, zeroBlock(n))
+				roundTrip(t, c, narrowIntBlock(n, r))
+				roundTrip(t, c, baseDeltaBlock(n, r))
+				roundTrip(t, c, repeatedBlock(n))
+				roundTrip(t, c, sparseBlock(n, r))
+				roundTrip(t, c, randomBlock(n, r))
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range Extended() {
+		c := c
+		f := func(raw [32]byte) bool {
+			block := raw[:]
+			enc, _, ok := c.Compress(block)
+			if !ok {
+				return true
+			}
+			dst := make([]byte, len(block))
+			if err := c.Decompress(enc, dst); err != nil {
+				return false
+			}
+			return bytes.Equal(dst, block)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestZeroBlockCompressesTiny(t *testing.T) {
+	for _, c := range Extended() {
+		_, size, ok := c.Compress(zeroBlock(32))
+		if !ok {
+			t.Errorf("%s: all-zero block should compress", c.Name())
+			continue
+		}
+		if size > 8 {
+			t.Errorf("%s: all-zero 32B block compressed to %dB, want <=8", c.Name(), size)
+		}
+	}
+}
+
+func TestNarrowIntsCompressWell(t *testing.T) {
+	r := rng.New(5)
+	block := narrowIntBlock(32, r)
+	for _, c := range []Codec{BDI{}, FPC{}, CPack{}} {
+		_, size, ok := c.Compress(block)
+		if !ok || size > 16 {
+			t.Errorf("%s: narrow-int block size=%d ok=%v, want <=16", c.Name(), size, ok)
+		}
+	}
+}
+
+func TestRandomDataMostlyIncompressible(t *testing.T) {
+	r := rng.New(17)
+	incompressible := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		block := randomBlock(32, r)
+		if _, _, ok := (BDI{}).Compress(block); !ok {
+			incompressible++
+		}
+	}
+	if incompressible < trials*5/10 {
+		t.Errorf("BDI compressed %d/%d random blocks; random data should rarely compress", trials-incompressible, trials)
+	}
+}
+
+func TestBDIRepeatedValue(t *testing.T) {
+	block := repeatedBlock(32)
+	enc, size, ok := (BDI{}).Compress(block)
+	if !ok || size != 9 {
+		t.Fatalf("repeated block: size=%d ok=%v, want 9-byte rep8 encoding", size, ok)
+	}
+	if bdiScheme(enc[0]) != bdiRep8 {
+		t.Fatalf("scheme = %d, want rep8", enc[0])
+	}
+}
+
+func TestBDIBaseDelta(t *testing.T) {
+	r := rng.New(31)
+	block := baseDeltaBlock(32, r)
+	enc, size, ok := (BDI{}).Compress(block)
+	if !ok {
+		t.Fatal("base-delta block should compress")
+	}
+	// base8-delta1: 1 + 1 + 8 + 4 = 14 bytes for a 32B block.
+	if size > 14 {
+		t.Fatalf("size = %d, want <= 14", size)
+	}
+	dst := make([]byte, 32)
+	if err := (BDI{}).Decompress(enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, block) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestBDIMixedImmediateAndBase(t *testing.T) {
+	// Words alternate between small immediates and values near a large base —
+	// the dual-base case that motivates the "I" in BDI.
+	block := make([]byte, 32)
+	for i := 0; i < 4; i++ {
+		var v uint64
+		if i%2 == 0 {
+			v = uint64(i * 3) // near zero
+		} else {
+			v = 0x7777_0000_0000 + uint64(i)
+		}
+		binary.LittleEndian.PutUint64(block[i*8:], v)
+	}
+	roundTrip(t, BDI{}, block)
+	if _, _, ok := (BDI{}).Compress(block); !ok {
+		t.Fatal("dual-base block should compress")
+	}
+}
+
+func TestBDIRejectsOddSizes(t *testing.T) {
+	if _, _, ok := (BDI{}).Compress(make([]byte, 12)); ok {
+		t.Fatal("12-byte block should be rejected (not divisible by 8)")
+	}
+	if _, _, ok := (BDI{}).Compress(nil); ok {
+		t.Fatal("empty block should be rejected")
+	}
+}
+
+func TestBDIDecompressErrors(t *testing.T) {
+	dst := make([]byte, 32)
+	if err := (BDI{}).Decompress(nil, dst); err == nil {
+		t.Error("empty encoding should error")
+	}
+	if err := (BDI{}).Decompress([]byte{byte(bdiRep8)}, dst); err == nil {
+		t.Error("truncated rep8 should error")
+	}
+	if err := (BDI{}).Decompress([]byte{99}, dst); err == nil {
+		t.Error("unknown scheme should error")
+	}
+	if err := (BDI{}).Decompress([]byte{byte(bdiB8D1), 0}, dst); err == nil {
+		t.Error("truncated base-delta should error")
+	}
+}
+
+func TestFPCPatterns(t *testing.T) {
+	mk := func(words ...uint32) []byte {
+		b := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(b[i*4:], w)
+		}
+		return b
+	}
+	cases := []struct {
+		name  string
+		block []byte
+	}{
+		{"zero run", mk(0, 0, 0, 0, 0, 0, 0, 1)},
+		{"se4", mk(1, 2, 3, 0xFFFFFFFF, 5, 6, 7, 1)},
+		{"se8", mk(100, 0xFFFFFF80, 100, 100, 100, 100, 100, 100)},
+		{"se16", mk(30000, 0xFFFF8000, 30000, 30000, 1, 1, 1, 1)},
+		{"high half", mk(0xABCD0000, 0x12340000, 0, 0, 0, 0, 0, 0)},
+		{"two bytes", mk(0x007F007F, 0xFF80FF80, 0, 0, 0, 0, 0, 0)},
+		{"repeated bytes", mk(0x5A5A5A5A, 0xA5A5A5A5, 0, 0, 0, 0, 0, 0)},
+		{"uncompressed mix", mk(0xDEADBEEF, 0, 0, 0, 0, 0, 0, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			roundTrip(t, FPC{}, tc.block)
+		})
+	}
+}
+
+func TestFPCZeroRunCapping(t *testing.T) {
+	// 16 zero words must round-trip across the 8-word run cap.
+	block := make([]byte, 64)
+	roundTrip(t, FPC{}, block)
+}
+
+func TestFPCDecompressErrors(t *testing.T) {
+	dst := make([]byte, 32)
+	if err := (FPC{}).Decompress(nil, dst); err == nil {
+		t.Error("empty encoding should error")
+	}
+	if err := (FPC{}).Decompress([]byte{0}, make([]byte, 6)); err == nil {
+		t.Error("non-word-aligned dst should error")
+	}
+	// A zero run longer than the block: prefix 000, run=8 on a 4-word block.
+	var w bitWriter
+	w.writeBits(fpcZeroRun, 3)
+	w.writeBits(7, 3)
+	if err := (FPC{}).Decompress(w.bytes(), make([]byte, 16)); err == nil {
+		t.Error("overflowing zero run should error")
+	}
+}
+
+func TestCPackDictionaryMatch(t *testing.T) {
+	// Same word repeated: first is xxxx + dict push, rest are mmmm.
+	block := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(block[i*4:], 0xDEADBEEF)
+	}
+	enc, size, ok := (CPack{}).Compress(block)
+	if !ok {
+		t.Fatal("repeating word should compress")
+	}
+	// 1×(2+32) + 7×(2+4) = 34+42 = 76 bits = 10 bytes.
+	if size != 10 {
+		t.Fatalf("size = %d, want 10", size)
+	}
+	dst := make([]byte, 32)
+	if err := (CPack{}).Decompress(enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, block) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestCPackPartialMatches(t *testing.T) {
+	mk := func(words ...uint32) []byte {
+		b := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(b[i*4:], w)
+		}
+		return b
+	}
+	// Prefix-sharing pointers (mmmx/mmxx) and small bytes (zzzx).
+	block := mk(0x10203040, 0x10203041, 0x1020FFFF, 0x000000AB,
+		0x10203040, 0, 0x55667788, 0x55667799)
+	roundTrip(t, CPack{}, block)
+	if _, _, ok := (CPack{}).Compress(block); !ok {
+		t.Fatal("pointer-like block should compress")
+	}
+}
+
+func TestCPackDecompressErrors(t *testing.T) {
+	if err := (CPack{}).Decompress(nil, make([]byte, 6)); err == nil {
+		t.Error("non-word-aligned dst should error")
+	}
+	// mmmm with empty dictionary.
+	var w bitWriter
+	w.writeBits(cpackMMMM, 2)
+	w.writeBits(0, 4)
+	if err := (CPack{}).Decompress(w.bytes(), make([]byte, 4)); err == nil {
+		t.Error("dict index into empty dictionary should error")
+	}
+	// invalid 1111 code
+	var w2 bitWriter
+	w2.writeBits(0b1111, 4)
+	if err := (CPack{}).Decompress(w2.bytes(), make([]byte, 4)); err == nil {
+		t.Error("invalid code should error")
+	}
+}
+
+func TestDZCSizeFormula(t *testing.T) {
+	r := rng.New(77)
+	block := sparseBlock(32, r)
+	nonzero := 0
+	for _, b := range block {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	_, size, ok := (DZC{}).Compress(block)
+	if !ok {
+		t.Fatal("sparse block should compress")
+	}
+	if want := 4 + nonzero; size != want {
+		t.Fatalf("size = %d, want bitmap 4 + %d literals", size, nonzero)
+	}
+}
+
+func TestDZCDenseBlockIncompressible(t *testing.T) {
+	block := bytes.Repeat([]byte{0xFF}, 32)
+	if _, _, ok := (DZC{}).Compress(block); ok {
+		t.Fatal("all-nonzero block should be incompressible under DZC")
+	}
+}
+
+func TestDZCDecompressErrors(t *testing.T) {
+	dst := make([]byte, 32)
+	if err := (DZC{}).Decompress([]byte{1}, dst); err == nil {
+		t.Error("short bitmap should error")
+	}
+	// Bitmap says byte 0 nonzero but no literal follows.
+	if err := (DZC{}).Decompress([]byte{1, 0, 0, 0}, dst); err == nil {
+		t.Error("missing literal should error")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("lz77"); err == nil {
+		t.Fatal("unknown codec should error")
+	}
+}
+
+func TestLatencyAndEnergyMetadata(t *testing.T) {
+	for _, c := range Extended() {
+		if c.CompressLatency() < 0 || c.DecompressLatency() < 0 {
+			t.Errorf("%s: negative latency", c.Name())
+		}
+		if c.CompressEnergyScale() <= 0 || c.DecompressEnergyScale() <= 0 {
+			t.Errorf("%s: non-positive energy scale", c.Name())
+		}
+	}
+	if (DZC{}).DecompressLatency() != 0 {
+		t.Error("DZC decompression should be free (ZIB consulted on access)")
+	}
+}
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	f := func(vals []uint32, widths []uint8) bool {
+		var w bitWriter
+		var want []uint32
+		var ns []int
+		for i, v := range vals {
+			n := 13
+			if len(widths) > 0 {
+				n = 1 + int(widths[i%len(widths)]%32)
+			}
+			w.writeBits(v, n)
+			mask := uint32(1)<<uint(n) - 1
+			if n == 32 {
+				mask = ^uint32(0)
+			}
+			want = append(want, v&mask)
+			ns = append(ns, n)
+		}
+		r := bitReader{buf: w.bytes()}
+		for i, n := range ns {
+			if got := r.readBits(n); got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		n    int
+		want int32
+	}{
+		{0xF, 4, -1}, {0x7, 4, 7}, {0x8, 4, -8},
+		{0xFF, 8, -1}, {0x80, 8, -128}, {0x7F, 8, 127},
+		{0xFFFF, 16, -1}, {0x8000, 16, -32768},
+	}
+	for _, tc := range cases {
+		if got := signExtend(tc.v, tc.n); got != tc.want {
+			t.Errorf("signExtend(%#x, %d) = %d, want %d", tc.v, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestFitsSigned(t *testing.T) {
+	if !fitsSigned(0xFFFFFFFF, 4) { // -1
+		t.Error("-1 should fit in 4 bits")
+	}
+	if fitsSigned(8, 4) {
+		t.Error("8 should not fit in 4 signed bits")
+	}
+	if !fitsSigned(7, 4) {
+		t.Error("7 should fit in 4 signed bits")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkCompress(b *testing.B) {
+	r := rng.New(1)
+	blocks := [][]byte{
+		zeroBlock(32), narrowIntBlock(32, r), baseDeltaBlock(32, r),
+		sparseBlock(32, r), randomBlock(32, r),
+	}
+	for _, c := range All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Compress(blocks[i%len(blocks)])
+			}
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	r := rng.New(2)
+	for _, c := range All() {
+		block := narrowIntBlock(32, r)
+		enc, _, ok := c.Compress(block)
+		if !ok {
+			b.Fatalf("%s: bench block incompressible", c.Name())
+		}
+		dst := make([]byte, 32)
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Decompress(enc, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

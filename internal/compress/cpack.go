@@ -1,0 +1,165 @@
+package compress
+
+import "fmt"
+
+// CPack implements C-Pack (Chen et al., TVLSI 2010): pattern matching on
+// 32-bit words combined with a small FIFO dictionary of recently seen words.
+// Each word is encoded as one of six codes; the compressor and decompressor
+// maintain identical dictionaries, so the dictionary contents never appear in
+// the encoding.
+type CPack struct{}
+
+func (CPack) Name() string                   { return "C-Pack" }
+func (CPack) CompressLatency() int           { return 4 }
+func (CPack) DecompressLatency() int         { return 4 }
+func (CPack) CompressEnergyScale() float64   { return 1.4 }
+func (CPack) DecompressEnergyScale() float64 { return 1.5 }
+
+// cpackDictSize is the FIFO dictionary capacity (16 entries ⇒ 4-bit index).
+const cpackDictSize = 16
+
+// cpackDict is the shared FIFO dictionary logic.
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int // valid entries
+	next    int // FIFO insertion cursor
+}
+
+// push inserts a word (FIFO replacement once full).
+func (d *cpackDict) push(v uint32) {
+	d.entries[d.next] = v
+	d.next = (d.next + 1) % cpackDictSize
+	if d.n < cpackDictSize {
+		d.n++
+	}
+}
+
+// findFull returns the index of an exact match, or -1.
+func (d *cpackDict) findFull(v uint32) int {
+	for i := 0; i < d.n; i++ {
+		if d.entries[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// findPrefix returns the index of an entry matching the top `bits` bits of v,
+// or -1.
+func (d *cpackDict) findPrefix(v uint32, bits int) int {
+	mask := ^uint32(0) << uint(32-bits)
+	for i := 0; i < d.n; i++ {
+		if (d.entries[i]^v)&mask == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// C-Pack codes. Two-bit codes for the frequent cases, four-bit for the rest.
+const (
+	cpackZZZZ = 0b00 // all-zero word
+	cpackXXXX = 0b01 // uncompressed, push to dictionary
+	cpackMMMM = 0b10 // full dictionary match
+	// Four-bit codes share the 0b11 prefix.
+	cpackMMXX = 0b1100 // top 16 bits match dictionary entry
+	cpackZZZX = 0b1101 // top 24 bits zero, one literal byte
+	cpackMMMX = 0b1110 // top 24 bits match dictionary entry
+)
+
+// Compress encodes the block.
+func (CPack) Compress(block []byte) ([]byte, int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return nil, 0, false
+	}
+	words := len(block) / 4
+	var w bitWriter
+	var dict cpackDict
+	for i := 0; i < words; i++ {
+		v := word32(block, i)
+		switch {
+		case v == 0:
+			w.writeBits(cpackZZZZ, 2)
+		case dict.findFull(v) >= 0:
+			w.writeBits(cpackMMMM, 2)
+			w.writeBits(uint32(dict.findFull(v)), 4)
+		case v>>8 == 0:
+			w.writeBits(cpackZZZX, 4)
+			w.writeBits(v&0xFF, 8)
+		case dict.findPrefix(v, 24) >= 0:
+			idx := dict.findPrefix(v, 24)
+			w.writeBits(cpackMMMX, 4)
+			w.writeBits(uint32(idx), 4)
+			w.writeBits(v&0xFF, 8)
+			dict.push(v)
+		case dict.findPrefix(v, 16) >= 0:
+			idx := dict.findPrefix(v, 16)
+			w.writeBits(cpackMMXX, 4)
+			w.writeBits(uint32(idx), 4)
+			w.writeBits(v&0xFFFF, 16)
+			dict.push(v)
+		default:
+			w.writeBits(cpackXXXX, 2)
+			w.writeBits(v, 32)
+			dict.push(v)
+		}
+	}
+	size := bitsToBytes(w.bits())
+	if size >= len(block) {
+		return nil, 0, false
+	}
+	return w.bytes(), size, true
+}
+
+// Decompress reconstructs a C-Pack-encoded block, rebuilding the dictionary
+// with the same update rules the compressor used.
+func (CPack) Decompress(enc []byte, dst []byte) error {
+	if len(dst)%4 != 0 {
+		return fmt.Errorf("cpack: block size %d not word-aligned", len(dst))
+	}
+	words := len(dst) / 4
+	r := bitReader{buf: enc}
+	var dict cpackDict
+	for i := 0; i < words; i++ {
+		if r.remaining() < 2 {
+			return fmt.Errorf("cpack: truncated encoding at word %d", i)
+		}
+		var v uint32
+		switch code := r.readBits(2); code {
+		case cpackZZZZ:
+			v = 0
+		case cpackXXXX:
+			v = r.readBits(32)
+			dict.push(v)
+		case cpackMMMM:
+			idx := int(r.readBits(4))
+			if idx >= dict.n {
+				return fmt.Errorf("cpack: dictionary index %d out of range", idx)
+			}
+			v = dict.entries[idx]
+		default: // 0b11 prefix: read two more bits
+			switch full := code<<2 | r.readBits(2); full {
+			case cpackZZZX:
+				v = r.readBits(8)
+			case cpackMMMX:
+				idx := int(r.readBits(4))
+				if idx >= dict.n {
+					return fmt.Errorf("cpack: dictionary index %d out of range", idx)
+				}
+				v = dict.entries[idx]&^uint32(0xFF) | r.readBits(8)
+				dict.push(v)
+			case cpackMMXX:
+				idx := int(r.readBits(4))
+				if idx >= dict.n {
+					return fmt.Errorf("cpack: dictionary index %d out of range", idx)
+				}
+				v = dict.entries[idx]&^uint32(0xFFFF) | r.readBits(16)
+				dict.push(v)
+			default:
+				return fmt.Errorf("cpack: invalid code %04b", full)
+			}
+		}
+		putWord32(dst, i, v)
+	}
+	return nil
+}

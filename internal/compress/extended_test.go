@@ -1,0 +1,183 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"kagura/internal/rng"
+)
+
+// rampBlock is BPC's home turf: a linear ramp with constant delta.
+func rampBlock(n int, base, step uint32) []byte {
+	b := make([]byte, n)
+	v := base
+	for off := 0; off < n; off += 4 {
+		binary.LittleEndian.PutUint32(b[off:], v)
+		v += step
+	}
+	return b
+}
+
+func TestBPCRampCompressesHard(t *testing.T) {
+	// Constant deltas make every DBX plane zero after the first: a 32B ramp
+	// should shrink dramatically.
+	block := rampBlock(32, 1000, 4)
+	enc, size, ok := (BPC{}).Compress(block)
+	if !ok {
+		t.Fatal("ramp should compress")
+	}
+	if size > 12 {
+		t.Fatalf("ramp compressed to %dB, want <= 12", size)
+	}
+	dst := make([]byte, 32)
+	if err := (BPC{}).Decompress(enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, block) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBPCNegativeDeltas(t *testing.T) {
+	// Descending ramp exercises the 33-bit sign handling.
+	block := rampBlock(32, 0xFFFF0000, 0xFFFFFFFC) // step −4
+	roundTrip(t, BPC{}, block)
+}
+
+func TestBPCWraparoundDeltas(t *testing.T) {
+	// Deltas crossing the int32 boundary need the 33rd bit.
+	b := make([]byte, 32)
+	vals := []uint32{0x7FFFFFFF, 0x80000001, 0, 0xFFFFFFFF, 1, 0x80000000, 0x7FFFFFFE, 2}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], v)
+	}
+	roundTrip(t, BPC{}, b)
+}
+
+func TestBPCUnsupportedSizes(t *testing.T) {
+	if _, _, ok := (BPC{}).Compress(make([]byte, 4)); ok {
+		t.Error("single-word block should be rejected")
+	}
+	if _, _, ok := (BPC{}).Compress(make([]byte, 6)); ok {
+		t.Error("unaligned block should be rejected")
+	}
+	if _, _, ok := (BPC{}).Compress(make([]byte, 256)); ok {
+		t.Error("blocks beyond 33 words should be rejected")
+	}
+	if err := (BPC{}).Decompress(nil, make([]byte, 6)); err == nil {
+		t.Error("decompress must reject unsupported sizes")
+	}
+}
+
+func TestBPCAllBlockSizes(t *testing.T) {
+	r := rng.New(123)
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		for trial := 0; trial < 30; trial++ {
+			roundTrip(t, BPC{}, rampBlock(n, r.Uint32(), r.Uint32()%64))
+			roundTrip(t, BPC{}, narrowIntBlock(n, r))
+			roundTrip(t, BPC{}, sparseBlock(n, r))
+		}
+	}
+}
+
+func TestFVCRepeatedValues(t *testing.T) {
+	// Three distinct repeated values: table covers everything, two bits per
+	// word plus the header.
+	b := make([]byte, 32)
+	vals := []uint32{0xAAAA0001, 0xBBBB0002, 0xAAAA0001, 0xCCCC0003,
+		0xAAAA0001, 0xBBBB0002, 0xCCCC0003, 0xAAAA0001}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], v)
+	}
+	enc, size, ok := (FVC{}).Compress(b)
+	if !ok {
+		t.Fatal("repetitive block should compress")
+	}
+	// header 2 + 3×32 + 8×2 = 114 bits = 15 bytes.
+	if size != 15 {
+		t.Fatalf("size = %d, want 15", size)
+	}
+	dst := make([]byte, 32)
+	if err := (FVC{}).Decompress(enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, b) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFVCAllDistinctIncompressible(t *testing.T) {
+	b := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(0x1000_0000+i*0x1111))
+	}
+	if _, _, ok := (FVC{}).Compress(b); ok {
+		t.Fatal("all-distinct block should not compress (literals + header exceed raw)")
+	}
+}
+
+func TestFVCSingletonNotTabled(t *testing.T) {
+	// A value appearing once must not waste a table slot.
+	b := make([]byte, 32)
+	for i := 0; i < 7; i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], 0x42)
+	}
+	binary.LittleEndian.PutUint32(b[28:], 0xDEADBEEF)
+	enc, size, ok := (FVC{}).Compress(b)
+	if !ok {
+		t.Fatal("should compress")
+	}
+	// header 2 + 1×32 + 8×2 + 1×32 literal = 82 bits = 11 bytes.
+	if size != 11 {
+		t.Fatalf("size = %d, want 11", size)
+	}
+	dst := make([]byte, 32)
+	if err := (FVC{}).Decompress(enc, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, b) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFVCDecompressErrors(t *testing.T) {
+	if err := (FVC{}).Decompress(nil, make([]byte, 6)); err == nil {
+		t.Error("non-word-aligned dst should error")
+	}
+	// Table size 2 but a word encodes index 2 (missing entry).
+	var w bitWriter
+	w.writeBits(2, 2)  // table size 2
+	w.writeBits(1, 32) // table[0]
+	w.writeBits(2, 32) // table[1]
+	w.writeBits(2, 2)  // word 0: index 2 → out of range
+	if err := (FVC{}).Decompress(w.bytes(), make([]byte, 4)); err == nil {
+		t.Error("dangling table index should error")
+	}
+}
+
+func TestExtendedRegistry(t *testing.T) {
+	if len(Extended()) != 6 {
+		t.Fatalf("extended codecs = %d, want 6", len(Extended()))
+	}
+	for _, name := range []string{"BPC", "fvc", "CC"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	if popcount(0) != 0 || popcount(0b1011) != 3 {
+		t.Error("popcount wrong")
+	}
+	if trailing(0b1000) != 3 || trailing(1) != 0 {
+		t.Error("trailing wrong")
+	}
+	if !isTwoConsecutive(0b110) || isTwoConsecutive(0b101) || isTwoConsecutive(0b10) {
+		t.Error("isTwoConsecutive wrong")
+	}
+	if bitsFor(7) != 3 || bitsFor(8) != 3 || bitsFor(9) != 4 || bitsFor(1) != 0 {
+		t.Error("bitsFor wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package compress
+
+import "fmt"
+
+// FPC implements Frequent Pattern Compression (Alameldeen & Wood, 2004). The
+// block is scanned as 32-bit words; each word is matched against a small set
+// of frequent patterns (zero runs, narrow sign-extended integers, halfword
+// forms, repeated bytes) and encoded with a 3-bit prefix plus the pattern's
+// payload. Unmatched words are emitted verbatim after the prefix.
+type FPC struct{}
+
+func (FPC) Name() string                   { return "FPC" }
+func (FPC) CompressLatency() int           { return 3 }
+func (FPC) DecompressLatency() int         { return 5 }
+func (FPC) CompressEnergyScale() float64   { return 1.1 }
+func (FPC) DecompressEnergyScale() float64 { return 1.2 }
+
+// FPC prefix codes.
+const (
+	fpcZeroRun      = 0 // run of 1–8 zero words; payload 3 bits (run length − 1)
+	fpcSE4          = 1 // 4-bit sign-extended
+	fpcSE8          = 2 // 8-bit sign-extended
+	fpcSE16         = 3 // 16-bit sign-extended
+	fpcHighHalf     = 4 // low halfword zero; payload is high halfword
+	fpcTwoBytes     = 5 // two halfwords, each an 8-bit sign-extended value
+	fpcRepBytes     = 6 // all four bytes identical; payload one byte
+	fpcUncompressed = 7
+)
+
+// word32 loads the little-endian 32-bit word at block[4i:].
+func word32(block []byte, i int) uint32 {
+	off := i * 4
+	return uint32(block[off]) | uint32(block[off+1])<<8 |
+		uint32(block[off+2])<<16 | uint32(block[off+3])<<24
+}
+
+// halfFits8 reports whether the 16-bit halfword h, viewed as a signed int16,
+// fits in 8 bits of two's complement.
+func halfFits8(h uint32) bool {
+	s := signExtend(h, 16)
+	return s >= -128 && s <= 127
+}
+
+// putWord32 stores a little-endian 32-bit word at dst[4i:].
+func putWord32(dst []byte, i int, v uint32) {
+	off := i * 4
+	dst[off] = byte(v)
+	dst[off+1] = byte(v >> 8)
+	dst[off+2] = byte(v >> 16)
+	dst[off+3] = byte(v >> 24)
+}
+
+// Compress encodes the block word by word.
+func (FPC) Compress(block []byte) ([]byte, int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return nil, 0, false
+	}
+	words := len(block) / 4
+	var w bitWriter
+	for i := 0; i < words; {
+		v := word32(block, i)
+		if v == 0 {
+			run := 1
+			for i+run < words && run < 8 && word32(block, i+run) == 0 {
+				run++
+			}
+			w.writeBits(fpcZeroRun, 3)
+			w.writeBits(uint32(run-1), 3)
+			i += run
+			continue
+		}
+		switch {
+		case fitsSigned(v, 4):
+			w.writeBits(fpcSE4, 3)
+			w.writeBits(v&0xF, 4)
+		case fitsSigned(v, 8):
+			w.writeBits(fpcSE8, 3)
+			w.writeBits(v&0xFF, 8)
+		case fitsSigned(v, 16):
+			w.writeBits(fpcSE16, 3)
+			w.writeBits(v&0xFFFF, 16)
+		case v&0xFFFF == 0:
+			w.writeBits(fpcHighHalf, 3)
+			w.writeBits(v>>16, 16)
+		case halfFits8(v&0xFFFF) && halfFits8(v>>16):
+			w.writeBits(fpcTwoBytes, 3)
+			w.writeBits(v&0xFF, 8)
+			w.writeBits((v>>16)&0xFF, 8)
+		case byte(v) == byte(v>>8) && byte(v) == byte(v>>16) && byte(v) == byte(v>>24):
+			w.writeBits(fpcRepBytes, 3)
+			w.writeBits(v&0xFF, 8)
+		default:
+			w.writeBits(fpcUncompressed, 3)
+			w.writeBits(v, 32)
+		}
+		i++
+	}
+	size := bitsToBytes(w.bits())
+	if size >= len(block) {
+		return nil, 0, false
+	}
+	return w.bytes(), size, true
+}
+
+// Decompress reconstructs an FPC-encoded block.
+func (FPC) Decompress(enc []byte, dst []byte) error {
+	if len(dst)%4 != 0 {
+		return fmt.Errorf("fpc: block size %d not word-aligned", len(dst))
+	}
+	words := len(dst) / 4
+	r := bitReader{buf: enc}
+	for i := 0; i < words; {
+		if r.remaining() < 3 {
+			return fmt.Errorf("fpc: truncated encoding at word %d", i)
+		}
+		prefix := r.readBits(3)
+		switch prefix {
+		case fpcZeroRun:
+			run := int(r.readBits(3)) + 1
+			if i+run > words {
+				return fmt.Errorf("fpc: zero run overflows block")
+			}
+			for j := 0; j < run; j++ {
+				putWord32(dst, i+j, 0)
+			}
+			i += run
+			continue
+		case fpcSE4:
+			putWord32(dst, i, uint32(signExtend(r.readBits(4), 4)))
+		case fpcSE8:
+			putWord32(dst, i, uint32(signExtend(r.readBits(8), 8)))
+		case fpcSE16:
+			putWord32(dst, i, uint32(signExtend(r.readBits(16), 16)))
+		case fpcHighHalf:
+			putWord32(dst, i, r.readBits(16)<<16)
+		case fpcTwoBytes:
+			lo := uint32(signExtend(r.readBits(8), 8)) & 0xFFFF
+			hi := uint32(signExtend(r.readBits(8), 8)) & 0xFFFF
+			putWord32(dst, i, hi<<16|lo)
+		case fpcRepBytes:
+			b := r.readBits(8)
+			putWord32(dst, i, b|b<<8|b<<16|b<<24)
+		case fpcUncompressed:
+			putWord32(dst, i, r.readBits(32))
+		}
+		i++
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package compress
+
+import "fmt"
+
+// FVC implements a per-block variant of Frequent Value Compression (Yang,
+// Zhang & Gupta, MICRO 2000 — "CC" in the paper's §IX survey). The original
+// design profiles a program's globally frequent values into a small table
+// and replaces matching words with short codes; this block-local variant
+// discovers up to three frequent 32-bit values per block, stores them in a
+// block header, and encodes each word as a 2-bit code (table index or
+// literal-follows). It excels on the value-locality data FVC targeted:
+// blocks dominated by a few repeated words (zero fills, flags, canonical
+// pointers).
+type FVC struct{}
+
+func (FVC) Name() string                   { return "FVC" }
+func (FVC) CompressLatency() int           { return 2 }
+func (FVC) DecompressLatency() int         { return 2 }
+func (FVC) CompressEnergyScale() float64   { return 0.8 }
+func (FVC) DecompressEnergyScale() float64 { return 0.7 }
+
+// fvcTableSize is the per-block frequent-value table capacity.
+const fvcTableSize = 3
+
+// Compress encodes the block.
+func (FVC) Compress(block []byte) ([]byte, int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return nil, 0, false
+	}
+	words := len(block) / 4
+
+	// Count value frequencies (blocks are tiny; a simple scan suffices and
+	// mirrors the hardware's comparator tree).
+	type vc struct {
+		v uint32
+		n int
+	}
+	var counts []vc
+	for i := 0; i < words; i++ {
+		v := word32(block, i)
+		found := false
+		for j := range counts {
+			if counts[j].v == v {
+				counts[j].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			counts = append(counts, vc{v: v, n: 1})
+		}
+	}
+	// Select the top values (stable selection sort; ≤16 candidates).
+	var table []uint32
+	for len(table) < fvcTableSize && len(counts) > 0 {
+		best := 0
+		for j := 1; j < len(counts); j++ {
+			if counts[j].n > counts[best].n {
+				best = j
+			}
+		}
+		if counts[best].n < 2 {
+			break // singleton values gain nothing over literals
+		}
+		table = append(table, counts[best].v)
+		counts = append(counts[:best], counts[best+1:]...)
+	}
+
+	var w bitWriter
+	w.writeBits(uint32(len(table)), 2)
+	for _, v := range table {
+		w.writeBits(v, 32)
+	}
+	for i := 0; i < words; i++ {
+		v := word32(block, i)
+		code := fvcTableSize // literal
+		for j, tv := range table {
+			if tv == v {
+				code = j
+				break
+			}
+		}
+		w.writeBits(uint32(code), 2)
+		if code == fvcTableSize {
+			w.writeBits(v, 32)
+		}
+	}
+	size := bitsToBytes(w.bits())
+	if size >= len(block) {
+		return nil, 0, false
+	}
+	return w.bytes(), size, true
+}
+
+// Decompress reconstructs an FVC-encoded block.
+func (FVC) Decompress(enc []byte, dst []byte) error {
+	if len(dst)%4 != 0 {
+		return fmt.Errorf("fvc: block size %d not word-aligned", len(dst))
+	}
+	words := len(dst) / 4
+	r := bitReader{buf: enc}
+	n := int(r.readBits(2))
+	if n > fvcTableSize {
+		return fmt.Errorf("fvc: table size %d out of range", n)
+	}
+	table := make([]uint32, n)
+	for i := range table {
+		table[i] = r.readBits(32)
+	}
+	for i := 0; i < words; i++ {
+		if r.remaining() < 2 {
+			return fmt.Errorf("fvc: truncated encoding at word %d", i)
+		}
+		code := int(r.readBits(2))
+		switch {
+		case code < n:
+			putWord32(dst, i, table[code])
+		case code == fvcTableSize:
+			putWord32(dst, i, r.readBits(32))
+		default:
+			return fmt.Errorf("fvc: code %d references missing table entry", code)
+		}
+	}
+	return nil
+}

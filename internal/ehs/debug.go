@@ -1,0 +1,12 @@
+package ehs
+
+import "kagura/internal/kagura"
+
+// NewDebug exposes the simulator for calibration tooling.
+func NewDebug(cfg Config) (*Simulator, error) { return New(cfg) }
+
+// Run executes the simulation (exported for calibration tooling).
+func (s *Simulator) Run() *Result { return s.run() }
+
+// Kagura returns the controller (nil when disabled).
+func (s *Simulator) Kagura() *kagura.Controller { return s.kag }

@@ -1,0 +1,113 @@
+package ehs
+
+import (
+	"testing"
+
+	"kagura/internal/compress"
+	"kagura/internal/kagura"
+)
+
+func TestDesignStrings(t *testing.T) {
+	want := map[Design]string{
+		NVSRAMCache: "NVSRAMCache", NvMR: "NvMR", SweepCache: "SweepCache",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+	if !NVSRAMCache.HasMonitor() || NvMR.HasMonitor() || SweepCache.HasMonitor() {
+		t.Error("monitor flags wrong")
+	}
+	if len(Designs()) != 3 {
+		t.Error("Designs() incomplete")
+	}
+}
+
+func TestSweepCacheWithCompressionStack(t *testing.T) {
+	// The full stack must compose with region-based persistence: dirty
+	// compressed blocks get decompressed and swept at boundaries, and
+	// rollback re-execution stays consistent.
+	cfg := testConfig(t, "gsm").WithACC(compress.BDI{}).WithKagura(kagura.DefaultConfig())
+	cfg.Design = SweepCache
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.Compressions == 0 {
+		t.Fatal("compression inactive under SweepCache")
+	}
+	if res.Executed < res.Committed {
+		t.Fatal("executed < committed is impossible")
+	}
+}
+
+func TestNvMRWithKaguraVoltageTrigger(t *testing.T) {
+	// The paper's worst case (Fig 19): a voltage trigger on a monitor-free
+	// design. It must run correctly (and pay the monitor).
+	kc := kagura.DefaultConfig()
+	kc.Trigger = kagura.TriggerVoltage
+	cfg := testConfig(t, "jpeg").WithACC(compress.BDI{}).WithKagura(kc)
+	cfg.Design = NvMR
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.KaguraRMEntries == 0 {
+		t.Fatal("voltage trigger never fired on NvMR")
+	}
+}
+
+func TestDesignsAllCompleteAllApps(t *testing.T) {
+	// Smoke: every design must run every app group representative.
+	for _, design := range Designs() {
+		for _, app := range []string{"jpeg", "typeset", "blowfish"} {
+			cfg := testConfig(t, app)
+			cfg.Design = design
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", design, app, err)
+			}
+			if !res.Completed {
+				t.Fatalf("%s/%s did not complete", design, app)
+			}
+		}
+	}
+}
+
+func TestEnergyParamsDefaultsSane(t *testing.T) {
+	e := DefaultEnergy()
+	if e.CacheAccessPJ != 9.0 || e.CompressPJ != 3.84 || e.DecompressPJ != 0.65 {
+		t.Fatal("Table I constants drifted")
+	}
+	if e.PipelinePJ <= 0 || e.CoreLeakWatts <= 0 || e.CacheLeakWattsPerByte <= 0 {
+		t.Fatal("calibrated constants must be positive")
+	}
+}
+
+func TestOracleUnknownKeysConservative(t *testing.T) {
+	o := NewOracle()
+	if o.wasUseful(123, 0x40) {
+		t.Fatal("unknown keys must default to not-useful")
+	}
+	o.markUseful(123, 0x40)
+	if !o.wasUseful(123, 0x40) {
+		t.Fatal("marked key lost")
+	}
+	// Bucketing: nearby instructions share a bucket.
+	if !o.wasUseful(123+1, 0x40) {
+		t.Fatal("same-bucket lookup must hit")
+	}
+	if o.wasUseful(123+(1<<oracleBucketShift), 0x40) {
+		t.Fatal("different bucket must miss")
+	}
+	if o.UsefulCount() != 1 {
+		t.Fatal("count wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package ehs
+
+// Time base: the paper's core runs at 200MHz; power traces sample every 10µs.
+const (
+	// ClockHz is the core frequency.
+	ClockHz = 200e6
+	// CyclePeriod is one core cycle in seconds (5ns).
+	CyclePeriod = 1.0 / ClockHz
+	// TraceIntervalCycles is one 10µs power-trace interval in core cycles.
+	TraceIntervalCycles = 2000
+)
+
+// EnergyParams gathers every per-event energy constant of the model. Values
+// the paper publishes (Table I) are used verbatim: 9 pJ per cache access,
+// 3.84 pJ per block compression, 0.65 pJ per decompression. The rest are
+// calibrated so the energy-breakdown *shares* and power-cycle lengths land in
+// the paper's regime (see DESIGN.md §5).
+type EnergyParams struct {
+	// PipelinePJ is the dynamic core energy per committed instruction
+	// (fetch/decode/execute of the five-stage in-order pipeline).
+	PipelinePJ float64
+	// CacheAccessPJ is the dynamic energy per cache access (Table I: 9 pJ).
+	CacheAccessPJ float64
+	// CompressPJ is the reference per-block compression energy (Table I BDI:
+	// 3.84 pJ), scaled by the codec's energy factor.
+	CompressPJ float64
+	// DecompressPJ is the reference per-block decompression energy (Table I
+	// BDI: 0.65 pJ).
+	DecompressPJ float64
+	// CoreLeakWatts is the always-on core leakage while powered.
+	CoreLeakWatts float64
+	// CacheLeakWattsPerByte is SRAM leakage per byte while powered — the
+	// term that makes large caches lose (Fig 1).
+	CacheLeakWattsPerByte float64
+	// MonitorWatts is the voltage monitor's draw on designs that have one
+	// (NVSRAMCache). Designs without a monitor pay it only when Kagura's
+	// voltage trigger forces one in (§VIII-H2).
+	MonitorWatts float64
+	// MonitorInitPJ is the monitor's initialization cost at each reboot.
+	MonitorInitPJ float64
+	// CheckpointStateBytes is the JIT-checkpointed processor state beyond
+	// the caches: register file + store buffer + Kagura's registers.
+	CheckpointStateBytes int
+	// NVFFWritePJPerByte is the energy to latch state into nonvolatile
+	// flip-flops at checkpoint (cheaper than NVM array writes).
+	NVFFWritePJPerByte float64
+}
+
+// DefaultEnergy returns the calibrated default parameters.
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		PipelinePJ:            3.0,
+		CacheAccessPJ:         9.0,
+		CompressPJ:            3.84,
+		DecompressPJ:          0.65,
+		CoreLeakWatts:         40e-6,
+		CacheLeakWattsPerByte: 0.4e-6,
+		MonitorWatts:          60e-6,
+		MonitorInitPJ:         500,
+		CheckpointStateBytes:  192, // 37 regs + 8-entry store buffer + Kagura state
+		NVFFWritePJPerByte:    2.0,
+	}
+}
+
+// Design selects the EHS crash-consistency architecture (§VIII-H1).
+type Design int
+
+const (
+	// NVSRAMCache (Gu et al.): JIT checkpoint of registers, store buffer and
+	// dirty cache blocks when the voltage monitor fires. The paper's
+	// baseline.
+	NVSRAMCache Design = iota
+	// NvMR (Bhattacharyya et al., ISCA'22): checkpoint-free; stores persist
+	// continuously through nonvolatile memory renaming, so power failure
+	// needs no checkpoint and recovery is cheap. No voltage monitor.
+	NvMR
+	// SweepCache (Zhou et al., MICRO'23): region-based persistence; dirty
+	// blocks are swept to NVM at region boundaries and power failure rolls
+	// execution back to the last boundary. No voltage monitor.
+	SweepCache
+)
+
+// String returns the design name.
+func (d Design) String() string {
+	switch d {
+	case NvMR:
+		return "NvMR"
+	case SweepCache:
+		return "SweepCache"
+	}
+	return "NVSRAMCache"
+}
+
+// HasMonitor reports whether the design includes a voltage monitor by
+// default.
+func (d Design) HasMonitor() bool { return d == NVSRAMCache }
+
+// Designs lists all EHS designs in evaluation order.
+func Designs() []Design { return []Design{NVSRAMCache, NvMR, SweepCache} }
+
+// Design-specific cost parameters.
+const (
+	// nvmrPersistBytes is the effective per-store NVM traffic after NvMR's
+	// map-table coalescing (word-granularity persist).
+	nvmrPersistBytes = 4
+	// nvmrRecoveryBytes is the map-table state fetched at reboot.
+	nvmrRecoveryBytes = 64
+	// sweepRegionInstrs is SweepCache's region size in instructions.
+	sweepRegionInstrs = 512
+)

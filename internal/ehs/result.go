@@ -1,0 +1,99 @@
+package ehs
+
+import "kagura/internal/cache"
+
+// EnergyBreakdown splits total consumption into the six categories of the
+// paper's Fig 16.
+type EnergyBreakdown struct {
+	Compress   float64 // block compression operations
+	Decompress float64 // block decompression operations
+	CacheOther float64 // cache accesses and fills (dynamic), cache leakage
+	Memory     float64 // NVM reads/writes for misses, writebacks, prefetches
+	Checkpoint float64 // JIT checkpoint + restoration (+ sweeps, persists)
+	Others     float64 // pipeline dynamic, core leakage, monitor, capacitor leak
+}
+
+// Total sums all categories.
+func (e EnergyBreakdown) Total() float64 {
+	return e.Compress + e.Decompress + e.CacheOther + e.Memory + e.Checkpoint + e.Others
+}
+
+// CycleRecord summarizes one completed power cycle (for Figs 12 and 14).
+type CycleRecord struct {
+	Committed int64 // committed instructions
+	Loads     int64
+	Stores    int64
+	Cycles    int64 // core cycles spent powered in this power cycle
+}
+
+// CPI returns cycles per committed instruction for the power cycle.
+func (c CycleRecord) CPI() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Committed)
+}
+
+// Result is everything a simulation run produces.
+type Result struct {
+	// Completed reports whether the program ran to its last instruction
+	// before the simulation-time safety cutoff.
+	Completed bool
+	// ExecSeconds is the wall-clock (trace) time until completion, including
+	// recharge dead time — the paper's performance metric.
+	ExecSeconds float64
+	// Committed is the forward progress in instructions (equals program
+	// length when Completed).
+	Committed int64
+	// Executed counts executed instructions including SweepCache
+	// re-execution after rollbacks.
+	Executed int64
+	// PowerCycles is the number of completed power cycles (outages).
+	PowerCycles int64
+	// Energy is the consumption breakdown.
+	Energy EnergyBreakdown
+	// ICache and DCache are snapshots of the cache event counters.
+	ICache, DCache cache.Stats
+	// Compressions and Decompressions are the total operation counts across
+	// both caches (Fig 18's numerator).
+	Compressions, Decompressions int64
+	// KaguraRMEntries counts CM→RM switches (0 without Kagura).
+	KaguraRMEntries int64
+	// Prefetches counts issued prefetch fills.
+	Prefetches int64
+	// Cycles is the per-power-cycle log (only when Config.CollectCycleLog).
+	Cycles []CycleRecord
+	// CheckpointedBlocks counts dirty blocks flushed by JIT checkpoints.
+	CheckpointedBlocks int64
+	// CapacitorLeakJoules is the buffer's self-discharge over the run
+	// (included in Energy.Others; reported separately for Table III).
+	CapacitorLeakJoules float64
+}
+
+// AvgCommittedPerCycle returns the mean committed instructions per power
+// cycle (bottom of Fig 13).
+func (r *Result) AvgCommittedPerCycle() float64 {
+	if r.PowerCycles == 0 {
+		return float64(r.Committed)
+	}
+	return float64(r.Committed) / float64(r.PowerCycles)
+}
+
+// Speedup returns the relative performance gain of this result over a
+// baseline: t_base/t_this − 1.
+func (r *Result) Speedup(baseline *Result) float64 {
+	if r.ExecSeconds == 0 {
+		return 0
+	}
+	return baseline.ExecSeconds/r.ExecSeconds - 1
+}
+
+// EnergyReduction returns the relative total-energy saving vs. a baseline:
+// 1 − E_this/E_base.
+func (r *Result) EnergyReduction(baseline *Result) float64 {
+	base := baseline.Energy.Total()
+	if base == 0 {
+		return 0
+	}
+	return 1 - r.Energy.Total()/base
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Export formats for rendered tables, so downstream analysis (plotting, diff
+// against the paper) doesn't have to scrape the aligned-text form.
+
+// WriteCSV emits the table as CSV: a title comment row, the header, then the
+// data rows. Notes become trailing comment rows.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.ID + ": " + t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the JSON wire form of a Table.
+type tableJSON struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON emits the table as a JSON object with rows keyed by header.
+func (t Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{ID: t.ID, Title: t.Title, Header: t.Header, Notes: t.Notes}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Header) {
+				key = t.Header[i]
+			}
+			m[key] = cell
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Format renders the table in the named format: "text" (default), "csv", or
+// "json".
+func (t Table) Format(format string, w io.Writer) error {
+	switch strings.ToLower(format) {
+	case "", "text", "txt":
+		_, err := io.WriteString(w, t.String())
+		return err
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	}
+	return fmt.Errorf("experiments: unknown format %q", format)
+}

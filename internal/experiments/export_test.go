@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		ID:     "figX",
+		Title:  "sample",
+		Header: []string{"app", "speedup"},
+		Rows:   [][]string{{"jpeg", "+4.74%"}, {"gsm", "+1.00%"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# figX: sample", "app,speedup", "jpeg,+4.74%", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		ID   string              `json:"id"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ID != "figX" || len(parsed.Rows) != 2 {
+		t.Fatalf("parsed %+v", parsed)
+	}
+	if parsed.Rows[0]["app"] != "jpeg" {
+		t.Fatalf("row keying wrong: %+v", parsed.Rows[0])
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	for _, f := range []string{"", "text", "csv", "json"} {
+		buf.Reset()
+		if err := sampleTable().Format(f, &buf); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced nothing", f)
+		}
+	}
+	if err := sampleTable().Format("xml", &buf); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}
+
+func TestJSONRowWiderThanHeader(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Rows = [][]string{{"a", "b", "extra"}}
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "col2") {
+		t.Fatal("overflow column not keyed")
+	}
+}

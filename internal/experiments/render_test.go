@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tbl := Table{
+		ID:     "figX",
+		Title:  "alignment check",
+		Header: []string{"app", "value"},
+		Rows:   [][]string{{"a-very-long-name", "+1.00%"}, {"b", "+10.00%"}},
+		Notes:  []string{"note line"},
+	}
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + 2 rows + note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns must align: the second column starts at the same offset in the
+	// header and every row.
+	headerIdx := strings.Index(lines[1], "value")
+	row1Idx := strings.Index(lines[2], "+1.00%")
+	row2Idx := strings.Index(lines[3], "+10.00%")
+	if headerIdx != row1Idx || row1Idx != row2Idx {
+		t.Fatalf("columns misaligned (%d/%d/%d):\n%s", headerIdx, row1Idx, row2Idx, out)
+	}
+	if !strings.HasPrefix(lines[0], "== figX: alignment check ==") {
+		t.Fatalf("title line wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], "note: ") {
+		t.Fatalf("note line wrong: %q", lines[4])
+	}
+}
+
+func TestTableStringRaggedRows(t *testing.T) {
+	// Rows wider than the header must not panic and must still render.
+	tbl := Table{
+		ID:     "ragged",
+		Title:  "t",
+		Header: []string{"one"},
+		Rows:   [][]string{{"a", "overflow", "more"}},
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "overflow") || !strings.Contains(out, "more") {
+		t.Fatalf("overflow cells dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,500 @@
+// Package kagura implements the paper's contribution: an intermittence-aware
+// controller that enables and disables an existing cache compressor based on
+// how many memory operations are expected before the next power outage.
+//
+// The controller is exactly the register architecture of §VI and Figs 7–10:
+//
+//   - R_mem   — memory operations committed in the current power cycle;
+//   - R_prev  — estimate of the memory operations the current cycle will
+//     commit in total, seeded from the previous cycle's R_mem;
+//   - R_adjust — the learning-based correction: the signed error of the
+//     previous estimate (R_mem − R_prev at end of cycle), applied to R_prev
+//     on reboot when the confidence counter is low;
+//   - R_thres — the compression-disabling threshold, adapted on every reboot
+//     from R_evict under an AIMD (default) policy;
+//   - R_evict — blocks evicted since the decision point (i.e. while in RM);
+//   - a 2-bit saturating confidence counter rewarding accurate estimates.
+//
+// Operation alternates between Compression Mode (CM) and Regular Mode (RM):
+// Kagura starts every power cycle in CM and switches to RM when the expected
+// remaining memory operations N_remain = R_prev − R_mem drop to R_thres,
+// after which the cache falls back to plain LRU replacement and no
+// compression energy is spent on blocks that would be lost anyway.
+package kagura
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode is the controller operating mode.
+type Mode int
+
+const (
+	// CM (Compression Mode) lets the underlying compressor operate as usual.
+	CM Mode = iota
+	// RM (Regular Mode) disables cache compression.
+	RM
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == CM {
+		return "CM"
+	}
+	return "RM"
+}
+
+// Trigger selects how Kagura detects the approaching power failure (§VIII-H2).
+type Trigger int
+
+const (
+	// TriggerMem is the default memory-operation-count trigger.
+	TriggerMem Trigger = iota
+	// TriggerVoltage disables compression when capacitor headroom above the
+	// checkpoint threshold falls below a margin. It requires an extended
+	// voltage monitor, which costs energy on EHS designs that do not already
+	// have one (NvMR, SweepCache).
+	TriggerVoltage
+)
+
+// String returns the trigger name.
+func (t Trigger) String() string {
+	if t == TriggerVoltage {
+		return "vol"
+	}
+	return "mem"
+}
+
+// Policy is the R_thres adaptation policy (§VIII-H4, Fig 21). The paper
+// selects AIMD; the alternatives are implemented for the sensitivity study.
+type Policy int
+
+const (
+	AIMD Policy = iota // additive (+step) increase, multiplicative (halve) decrease
+	MIAD               // multiplicative (double) increase, additive (−step) decrease
+	AIAD               // additive increase, additive decrease
+	MIMD               // multiplicative increase, multiplicative decrease
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case AIMD:
+		return "AIMD"
+	case MIAD:
+		return "MIAD"
+	case AIAD:
+		return "AIAD"
+	case MIMD:
+		return "MIMD"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PolicyByName parses a policy name.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToUpper(name) {
+	case "AIMD":
+		return AIMD, nil
+	case "MIAD":
+		return MIAD, nil
+	case "AIAD":
+		return AIAD, nil
+	case "MIMD":
+		return MIMD, nil
+	}
+	return 0, fmt.Errorf("kagura: unknown policy %q", name)
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// Policy is the R_thres adaptation scheme (default AIMD).
+	Policy Policy
+	// IncreaseStep is the additive increase fraction (default 0.10; §VIII-H5
+	// sweeps 0.05–0.20).
+	IncreaseStep float64
+	// CounterBits sizes the confidence counter (default 2; Table IV sweeps
+	// 1–3).
+	CounterBits int
+	// HistoryDepth is how many past power cycles feed the R_prev estimate
+	// (default 1; Table II sweeps 1–4 with linearly growing weights toward
+	// the most recent cycle).
+	HistoryDepth int
+	// Trigger selects the disable trigger (default TriggerMem).
+	Trigger Trigger
+	// InitialThreshold seeds R_thres on first boot.
+	InitialThreshold uint32
+	// ErrorTolerance is the relative estimate error under which the
+	// confidence counter is rewarded (default 0.2, matching the paper's
+	// "<20% difference" consistency analysis in Fig 12).
+	ErrorTolerance float64
+	// SimpleEstimator selects §VI-A's "Simple Approach": N_remain is
+	// computed purely as R_prev − R_mem with R_prev seeded from the previous
+	// cycle, with no reward/punishment counter, no R_adjust correction, and
+	// no timeout recovery. The default (false) is the sophisticated
+	// approach the paper adopts.
+	SimpleEstimator bool
+	// EvictGate bounds the lost-reuse count that can trigger a threshold
+	// decrease: R_thres halves when R_evict > min(R_thres/2, EvictGate) AND
+	// the RM lost-reuse rate exceeds 1.5× the cycle's CM baseline rate. The
+	// paper's §VI-B states the plain R_thres/2 rule, whose worked examples
+	// (Figs 9–10) all have single-digit thresholds; at realistic thresholds
+	// the raw count cannot separate compression-caused losses from
+	// background churn. Default 4.
+	EvictGate uint32
+}
+
+// DefaultConfig returns the paper's default controller settings.
+func DefaultConfig() Config {
+	return Config{
+		Policy:           AIMD,
+		IncreaseStep:     0.10,
+		CounterBits:      2,
+		HistoryDepth:     1,
+		Trigger:          TriggerMem,
+		InitialThreshold: 128,
+		ErrorTolerance:   0.2,
+		EvictGate:        4,
+	}
+}
+
+// Stats counts controller events across the run.
+type Stats struct {
+	CyclesSeen      int64 // power cycles completed
+	RMEntries       int64 // times the controller switched CM→RM
+	MemOps          int64 // total memory ops observed
+	MemOpsInRM      int64 // memory ops committed while compression was off
+	AdjustApplied   int64 // reboots where R_adjust modified R_prev
+	ThresholdRaises int64
+	ThresholdDrops  int64
+}
+
+// Controller is Kagura's hardware state. The zero value is not usable;
+// construct with New.
+type Controller struct {
+	cfg Config
+
+	// Architectural registers (Fig 7). All uint32, as in the paper's
+	// hardware cost analysis (five 32-bit registers + 2-bit counter).
+	rMem    uint32
+	rPrev   uint32
+	rThres  uint32
+	rAdjust int32 // signed difference R_mem − R_prev
+	rEvict  uint32
+
+	counter    int // saturating confidence counter in [0, 2^bits − 1]
+	counterMax int
+
+	mode Mode
+
+	// Per-cycle lost-reuse accounting: cmLost counts lost-reuse events
+	// (shadow-tag hits) observed in CM while the underlying compressor was
+	// actually compressing, and cmMemOps/rmMemOps are the matching memory-op
+	// denominators. Comparing the RM lost-reuse *rate* against this
+	// compression-on baseline lets the reboot adaptation shrink the
+	// threshold only when disabling compression demonstrably lost reuses
+	// that compression was retaining.
+	cmLost   uint32
+	cmMemOps uint32
+	rmMemOps uint32
+
+	// history holds the R_mem values of recent completed cycles, most recent
+	// last; used when HistoryDepth > 1.
+	history []uint32
+
+	stats Stats
+}
+
+// New constructs a controller in CM with cold registers, as after the very
+// first boot.
+func New(cfg Config) *Controller {
+	if cfg.IncreaseStep <= 0 {
+		cfg.IncreaseStep = 0.10
+	}
+	if cfg.CounterBits < 1 {
+		cfg.CounterBits = 2
+	}
+	if cfg.HistoryDepth < 1 {
+		cfg.HistoryDepth = 1
+	}
+	if cfg.InitialThreshold == 0 {
+		cfg.InitialThreshold = 128
+	}
+	if cfg.ErrorTolerance <= 0 {
+		cfg.ErrorTolerance = 0.2
+	}
+	if cfg.EvictGate == 0 {
+		cfg.EvictGate = 4
+	}
+	c := &Controller{
+		cfg:        cfg,
+		rThres:     cfg.InitialThreshold,
+		counterMax: 1<<uint(cfg.CounterBits) - 1,
+		mode:       CM,
+	}
+	// Start optimistic: mid-range confidence.
+	c.counter = (c.counterMax + 1) / 2
+	return c
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Mode returns the current operating mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// CompressionEnabled reports whether the underlying compressor may run.
+func (c *Controller) CompressionEnabled() bool { return c.mode == CM }
+
+// Registers exposes the architectural register values (for tests, tracing,
+// and the cmd-line inspector).
+func (c *Controller) Registers() (rMem, rPrev, rThres uint32, rAdjust int32, rEvict uint32, counter int) {
+	return c.rMem, c.rPrev, c.rThres, c.rAdjust, c.rEvict, c.counter
+}
+
+// Stats returns the live counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// OnMemOpCommitted is called once per committed memory instruction; predOn
+// reports whether the underlying compressor (e.g. ACC's GCP) currently
+// compresses, which scopes the CM lost-reuse baseline. With the memory
+// trigger, the call performs the paper's three-step commit action: bump
+// R_mem, compute R_prev − R_mem, and compare against R_thres (§VI-A).
+func (c *Controller) OnMemOpCommitted(predOn bool) {
+	c.rMem++
+	c.stats.MemOps++
+	if c.mode == RM {
+		c.stats.MemOpsInRM++
+		c.rmMemOps++
+		// Timeout recovery: execution has outlived the estimate (R_mem has
+		// passed R_prev), so the cycle-length prediction was an
+		// underestimate. Unless the threshold itself spans the whole cycle
+		// (the controller has learned that compression never pays), return
+		// to CM with the estimate extended by 25%, so one bad prediction
+		// does not forfeit compression for the rest of a long cycle. Part
+		// of the sophisticated estimator (§VI-A).
+		if !c.cfg.SimpleEstimator && c.cfg.Trigger == TriggerMem && c.rMem > c.rPrev && uint64(c.rThres) < uint64(c.rPrev) {
+			c.rPrev = c.rMem + c.rPrev/4
+			c.mode = CM
+		}
+		return
+	}
+	if predOn {
+		c.cmMemOps++
+	}
+	if c.cfg.Trigger != TriggerMem {
+		return
+	}
+	var remain uint32
+	if c.rPrev > c.rMem {
+		remain = c.rPrev - c.rMem
+	}
+	if remain <= c.rThres {
+		c.enterRM()
+	}
+}
+
+// OnVoltageHeadroom is called with the capacitor's energy headroom above the
+// checkpoint threshold, normalized to the full operating budget (1.0 = just
+// rebooted, 0.0 = checkpoint imminent). Only the voltage trigger reacts.
+func (c *Controller) OnVoltageHeadroom(normalized float64) {
+	if c.cfg.Trigger != TriggerVoltage || c.mode == RM {
+		return
+	}
+	// Fixed trigger threshold: disable compression in the last ~12% of the
+	// energy budget, mirroring a third comparator level above V_ckpt.
+	const margin = 0.12
+	if normalized <= margin {
+		c.enterRM()
+	}
+}
+
+func (c *Controller) enterRM() {
+	c.mode = RM
+	c.rEvict = 0
+	c.stats.RMEntries++
+}
+
+// OnEviction is called when the cache loses a reuse (a miss that hit a
+// shadow tag — a block evicted recently enough that a larger effective
+// capacity would have kept it). Per §VI-B, R_evict tracks such events since
+// the decision point; events before the decision point feed the cycle's
+// compression-on CM baseline rate when predOn is true.
+func (c *Controller) OnEviction(predOn bool) {
+	if c.mode == RM {
+		c.rEvict++
+	} else if predOn {
+		c.cmLost++
+	}
+}
+
+// OnPowerFailure is the JIT-checkpoint hook: it computes R_adjust (Eq 6),
+// updates the confidence counter (reward when the estimate was within
+// tolerance of the actual count), and conceptually checkpoints everything
+// except R_prev. The controller's in-memory state simply persists across the
+// simulated outage.
+func (c *Controller) OnPowerFailure() {
+	if len(c.history) == 0 && c.rPrev == 0 {
+		// Very first power cycle: no estimate existed, so there is nothing
+		// to reward, punish, or learn from. Without this, a cold start
+		// poisons R_adjust with the full first-cycle length and the
+		// estimate oscillates between 0 and 2× the true value indefinitely.
+		c.rAdjust = 0
+		c.history = append(c.history, c.rMem)
+		c.stats.CyclesSeen++
+		return
+	}
+	if c.cfg.SimpleEstimator {
+		// §VI-A Simple Approach: no learning, just remember the cycle.
+		c.history = append(c.history, c.rMem)
+		if len(c.history) > c.cfg.HistoryDepth {
+			c.history = c.history[len(c.history)-c.cfg.HistoryDepth:]
+		}
+		c.stats.CyclesSeen++
+		return
+	}
+	c.rAdjust = int32(c.rMem) - int32(c.rPrev)
+	err := c.rAdjust
+	if err < 0 {
+		err = -err
+	}
+	tolerance := uint32(c.cfg.ErrorTolerance * float64(c.rPrev))
+	if c.rPrev > 0 && uint32(err) <= tolerance {
+		if c.counter < c.counterMax {
+			c.counter++
+		}
+	} else if c.counter > 0 {
+		c.counter--
+	}
+	c.history = append(c.history, c.rMem)
+	if len(c.history) > c.cfg.HistoryDepth {
+		c.history = c.history[len(c.history)-c.cfg.HistoryDepth:]
+	}
+	c.stats.CyclesSeen++
+}
+
+// OnReboot is the restore hook (Fig 8 & Fig 10): R_prev is seeded from the
+// checkpointed R_mem (or the weighted history), corrected by R_adjust when
+// confidence is low, R_thres adapts from R_evict, and the controller
+// re-enters CM.
+func (c *Controller) OnReboot() {
+	// Estimate the upcoming cycle's memory-op count.
+	c.rPrev = c.weightedEstimate()
+	c.rMem = 0
+
+	// Low-confidence reboots apply the learned correction (§VI-A: "applies
+	// an adjustment to R_prev if the counter equals 00 or 01"); the simple
+	// estimator never adjusts. The applied
+	// estimate is clamped to [raw/2, 2·raw]: the correction extrapolates a
+	// trend, and an extrapolation beyond that band says more about estimate
+	// noise than about the workload.
+	if !c.cfg.SimpleEstimator && c.counter <= c.counterMax/2 {
+		raw := int64(c.rPrev)
+		adjusted := raw + int64(c.rAdjust)
+		if lo := raw / 2; adjusted < lo {
+			adjusted = lo
+		}
+		if hi := raw * 2; adjusted > hi {
+			adjusted = hi
+		}
+		c.rPrev = uint32(adjusted)
+		c.stats.AdjustApplied++
+	}
+
+	// Threshold adaptation from R_evict (§VI-B). The paper's rule fires on
+	// the raw count (its worked examples have single-digit thresholds); at
+	// realistic thresholds the count alone cannot distinguish reuses lost
+	// *because* compression was off from background churn, so the drop also
+	// requires the RM lost-reuse rate to exceed the cycle's CM baseline.
+	gate := c.rThres / 2
+	if gate > c.cfg.EvictGate {
+		gate = c.cfg.EvictGate
+	}
+	rmRate := float64(c.rEvict) / float64(c.rmMemOps+1)
+	cmRate := float64(c.cmLost) / float64(c.cmMemOps+1)
+	// Drop when RM demonstrably loses reuses faster than the compression-on
+	// baseline churned.
+	if c.rEvict > gate && rmRate > 1.5*cmRate {
+		c.rThres = c.decrease(c.rThres)
+		c.stats.ThresholdDrops++
+	} else {
+		c.rThres = c.increase(c.rThres)
+		c.stats.ThresholdRaises++
+	}
+	c.rEvict = 0
+	c.cmLost = 0
+	c.cmMemOps = 0
+	c.rmMemOps = 0
+	c.mode = CM
+}
+
+// weightedEstimate combines the last HistoryDepth cycle lengths with linearly
+// increasing weights toward the most recent cycle (§VIII-H6: with two cycles
+// C1, C2 and C2 more recent, N_prev = (C1 + 2·C2)/3).
+func (c *Controller) weightedEstimate() uint32 {
+	if len(c.history) == 0 {
+		return 0
+	}
+	var num, den uint64
+	for i, v := range c.history {
+		w := uint64(i + 1)
+		num += w * uint64(v)
+		den += w
+	}
+	return uint32(num / den)
+}
+
+const (
+	minThreshold = 1
+	maxThreshold = 1 << 20
+)
+
+// increase applies the policy's raise step.
+func (c *Controller) increase(v uint32) uint32 {
+	var nv uint32
+	switch c.cfg.Policy {
+	case MIAD, MIMD: // multiplicative increase
+		nv = v * 2
+	default: // additive increase: +step fraction, at least 1
+		inc := uint32(float64(v) * c.cfg.IncreaseStep)
+		if inc == 0 {
+			inc = 1
+		}
+		nv = v + inc
+	}
+	if nv > maxThreshold {
+		nv = maxThreshold
+	}
+	return nv
+}
+
+// decrease applies the policy's drop step.
+func (c *Controller) decrease(v uint32) uint32 {
+	var nv uint32
+	switch c.cfg.Policy {
+	case MIAD, AIAD: // additive decrease: −step fraction, at least 1
+		dec := uint32(float64(v) * c.cfg.IncreaseStep)
+		if dec == 0 {
+			dec = 1
+		}
+		if v > dec {
+			nv = v - dec
+		} else {
+			nv = minThreshold
+		}
+	default: // multiplicative decrease: halve
+		nv = v / 2
+	}
+	if nv < minThreshold {
+		nv = minThreshold
+	}
+	return nv
+}
+
+// HardwareBits returns the controller's storage cost in bits: five 32-bit
+// registers plus the confidence counter (§VIII-A reports 162 bits for the
+// default 2-bit counter).
+func (c *Controller) HardwareBits() int {
+	return 5*32 + c.cfg.CounterBits
+}

@@ -1,0 +1,545 @@
+package kagura
+
+import "testing"
+
+// runCycle simulates one power cycle: n memory ops, then failure + reboot.
+func runCycle(c *Controller, n int, evictionsInRM int) {
+	for i := 0; i < n; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	for i := 0; i < evictionsInRM; i++ {
+		c.OnEviction(true)
+	}
+	c.OnPowerFailure()
+	c.OnReboot()
+}
+
+func TestStartsInCM(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Mode() != CM || !c.CompressionEnabled() {
+		t.Fatal("controller must start in CM")
+	}
+}
+
+func TestHardwareBits(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.HardwareBits() != 162 {
+		t.Fatalf("HardwareBits = %d, want 162 (paper §VIII-A)", c.HardwareBits())
+	}
+}
+
+func TestFirstCycleNeverSwitches(t *testing.T) {
+	// With R_prev = 0 the remaining estimate is always ≤ threshold... the
+	// paper's controller has nothing to go on in the very first cycle. Our
+	// implementation enters RM immediately (remain=0 ≤ thres) — verify this
+	// is the behavior and that it recovers after one cycle.
+	c := New(DefaultConfig())
+	c.OnMemOpCommitted(true)
+	if c.Mode() != RM {
+		t.Fatal("cold first cycle has no history; expected conservative RM")
+	}
+}
+
+func TestSwitchesToRMNearPredictedEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 10
+	c := New(cfg)
+	runCycle(c, 100, 0) // establishes R_prev=100 for next cycle
+	// After the first reboot the threshold was raised 10 → 11 (quiet cycle),
+	// so RM engages when 100 − R_mem ≤ 11, i.e. at the 89th op.
+	for i := 0; i < 88; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != CM {
+		t.Fatalf("at 88/100 ops with thres 11, mode = %v", c.Mode())
+	}
+	c.OnMemOpCommitted(true)
+	if c.Mode() != RM {
+		t.Fatal("controller should have entered RM near predicted cycle end")
+	}
+}
+
+func TestRMEvictionCounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 10
+	c := New(cfg)
+	c.OnEviction(true) // CM-mode eviction must not count
+	runCycle(c, 100, 0)
+	for i := 0; i < 100; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("expected RM")
+	}
+	c.OnEviction(true)
+	c.OnEviction(true)
+	_, _, _, _, rEvict, _ := c.Registers()
+	if rEvict != 2 {
+		t.Fatalf("R_evict = %d, want 2", rEvict)
+	}
+}
+
+func TestAIMDThresholdAdaptation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 8
+	c := New(cfg)
+
+	// Cycle with many RM evictions (6 > 8/2): halve to 4... but note the
+	// first reboot adapts from R_evict of the first cycle.
+	runCycle(c, 100, 0)
+	// Second cycle: enter RM (immediately after ~90 ops), 6 evictions.
+	for i := 0; i < 100; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	for i := 0; i < 6; i++ {
+		c.OnEviction(true)
+	}
+	_, _, before, _, _, _ := c.Registers()
+	c.OnPowerFailure()
+	c.OnReboot()
+	_, _, after, _, _, _ := c.Registers()
+	if after != before/2 {
+		t.Fatalf("R_thres %d → %d, want halved (AIMD, R_evict=6 > thres/2)", before, after)
+	}
+
+	// Quiet cycle: no evictions → +10% (at least +1).
+	before = after
+	runCycle(c, 100, 0)
+	_, _, after, _, _, _ = c.Registers()
+	wantInc := uint32(float64(before) * 0.10)
+	if wantInc == 0 {
+		wantInc = 1
+	}
+	if after != before+wantInc {
+		t.Fatalf("R_thres %d → %d, want +10%%", before, after)
+	}
+}
+
+func TestPolicyVariants(t *testing.T) {
+	for _, p := range []Policy{AIMD, MIAD, AIAD, MIMD} {
+		cfg := DefaultConfig()
+		cfg.Policy = p
+		cfg.InitialThreshold = 100
+		c := New(cfg)
+		inc := c.increase(100)
+		dec := c.decrease(100)
+		switch p {
+		case AIMD:
+			if inc != 110 || dec != 50 {
+				t.Errorf("AIMD: inc=%d dec=%d", inc, dec)
+			}
+		case MIAD:
+			if inc != 200 || dec != 90 {
+				t.Errorf("MIAD: inc=%d dec=%d", inc, dec)
+			}
+		case AIAD:
+			if inc != 110 || dec != 90 {
+				t.Errorf("AIAD: inc=%d dec=%d", inc, dec)
+			}
+		case MIMD:
+			if inc != 200 || dec != 50 {
+				t.Errorf("MIMD: inc=%d dec=%d", inc, dec)
+			}
+		}
+	}
+}
+
+func TestThresholdBounds(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.decrease(1) < minThreshold {
+		t.Fatal("threshold fell below minimum")
+	}
+	if c.increase(maxThreshold) > maxThreshold {
+		t.Fatal("threshold exceeded maximum")
+	}
+}
+
+func TestRAdjustLearning(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Cycle 1: 100 ops (cold start: no estimate existed, nothing learned).
+	runCycle(c, 100, 0)
+	// Cycle 2 runs only 70 ops: estimate 100, error 30 (>20%) → punished,
+	// R_adjust = −30.
+	runCycle(c, 70, 0)
+	_, rPrev, _, rAdjust, _, _ := c.Registers()
+	if rAdjust != -30 {
+		t.Fatalf("R_adjust = %d, want −30", rAdjust)
+	}
+	// Confidence dropped to 1 (≤ max/2), so the reboot applied the
+	// correction: R_prev = 70 − 30 = 40 (within the [raw/2, 2·raw] clamp).
+	if rPrev != 40 {
+		t.Fatalf("R_prev = %d, want 40 (70 − 30)", rPrev)
+	}
+}
+
+func TestRMTimeoutRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 10
+	c := New(cfg)
+	runCycle(c, 100, 0) // R_prev = 100 next cycle
+	// Run past the predicted end: the controller enters RM near op 90, then
+	// must recover to CM once R_mem exceeds R_prev (underestimated cycle).
+	for i := 0; i < 100; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("expected RM at predicted end")
+	}
+	c.OnMemOpCommitted(true) // R_mem = 101 > R_prev = 100 (threshold raised to 11 < 100)
+	if c.Mode() != CM {
+		t.Fatal("controller should recover to CM after outliving its estimate")
+	}
+	_, rPrev, _, _, _, _ := c.Registers()
+	if rPrev <= 101 {
+		t.Fatalf("recovery must extend the estimate, got R_prev = %d", rPrev)
+	}
+}
+
+func TestNoTimeoutRecoveryWhenThresholdSpansCycle(t *testing.T) {
+	// When R_thres ≥ R_prev the controller has learned compression never
+	// pays; it must stay in RM even past the estimate.
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 1000
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	for i := 0; i < 150; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("full-cycle RM must persist past the estimate")
+	}
+}
+
+func TestConfidenceSuppressesAdjustment(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Several identical cycles → estimates accurate → counter saturates high.
+	for i := 0; i < 5; i++ {
+		runCycle(c, 100, 0)
+	}
+	_, _, _, _, _, counter := c.Registers()
+	if counter != 3 {
+		t.Fatalf("counter = %d, want saturated 3", counter)
+	}
+	adjBefore := c.Stats().AdjustApplied
+	runCycle(c, 100, 0)
+	if c.Stats().AdjustApplied != adjBefore {
+		t.Fatal("high-confidence reboot should not apply R_adjust")
+	}
+	_, rPrev, _, _, _, _ := c.Registers()
+	if rPrev != 100 {
+		t.Fatalf("R_prev = %d, want raw 100", rPrev)
+	}
+}
+
+func TestCounterBitsBound(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.CounterBits = bits
+		c := New(cfg)
+		for i := 0; i < 10; i++ {
+			runCycle(c, 100, 0) // accurate after first → counter rises
+		}
+		_, _, _, _, _, counter := c.Registers()
+		if max := 1<<uint(bits) - 1; counter != max {
+			t.Errorf("bits=%d: counter=%d, want %d", bits, counter, max)
+		}
+	}
+}
+
+func TestHistoryDepthWeighting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryDepth = 2
+	c := New(cfg)
+	runCycle(c, 30, 0) // C1
+	runCycle(c, 60, 0) // C2
+	// N_prev = (C1 + 2*C2)/3 = (30+120)/3 = 50.
+	if got := c.weightedEstimate(); got != 50 {
+		t.Fatalf("weighted estimate = %d, want 50", got)
+	}
+}
+
+func TestHistoryDepthTruncation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryDepth = 2
+	c := New(cfg)
+	for _, n := range []int{10, 20, 30, 40} {
+		runCycle(c, n, 0)
+	}
+	// Only the last two cycles (30, 40) should remain: (30 + 2*40)/3 = 36.
+	if got := c.weightedEstimate(); got != 36 {
+		t.Fatalf("estimate = %d, want 36", got)
+	}
+}
+
+func TestVoltageTrigger(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trigger = TriggerVoltage
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	c.OnVoltageHeadroom(0.5)
+	if c.Mode() != CM {
+		t.Fatal("plenty of headroom should stay CM")
+	}
+	c.OnVoltageHeadroom(0.05)
+	if c.Mode() != RM {
+		t.Fatal("low headroom should switch to RM")
+	}
+	// Memory trigger path must be inert under voltage trigger.
+	c.OnReboot()
+	for i := 0; i < 1000; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != CM {
+		t.Fatal("mem-op commits must not trigger RM under voltage trigger")
+	}
+}
+
+func TestVoltageTriggerIgnoredUnderMemTrigger(t *testing.T) {
+	c := New(DefaultConfig())
+	runCycle(c, 100, 0)
+	c.OnVoltageHeadroom(0.01)
+	if c.Mode() != CM {
+		t.Fatal("voltage samples must not affect the memory trigger")
+	}
+}
+
+func TestRebootResetsMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 1000 // force instant RM
+	c := New(cfg)
+	runCycle(c, 10, 0)
+	c.OnMemOpCommitted(true)
+	if c.Mode() != RM {
+		t.Fatal("expected RM")
+	}
+	c.OnPowerFailure()
+	c.OnReboot()
+	if c.Mode() != CM {
+		t.Fatal("reboot must restore CM")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 10
+	c := New(cfg)
+	runCycle(c, 100, 2)
+	runCycle(c, 100, 0)
+	s := c.Stats()
+	if s.CyclesSeen != 2 {
+		t.Fatalf("CyclesSeen = %d", s.CyclesSeen)
+	}
+	if s.MemOps != 200 {
+		t.Fatalf("MemOps = %d", s.MemOps)
+	}
+	if s.RMEntries == 0 {
+		t.Fatal("expected at least one RM entry")
+	}
+	if s.ThresholdRaises+s.ThresholdDrops != 2 {
+		t.Fatal("every reboot must adapt the threshold")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"AIMD", "miad", "AiAd", "MIMD"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("PID"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CM.String() != "CM" || RM.String() != "RM" {
+		t.Error("mode strings wrong")
+	}
+	if TriggerMem.String() != "mem" || TriggerVoltage.String() != "vol" {
+		t.Error("trigger strings wrong")
+	}
+	if AIMD.String() != "AIMD" || Policy(9).String() == "" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	c := New(Config{})
+	cfg := c.Config()
+	if cfg.IncreaseStep != 0.10 || cfg.CounterBits != 2 || cfg.HistoryDepth != 1 ||
+		cfg.InitialThreshold != 128 || cfg.ErrorTolerance != 0.2 {
+		t.Fatalf("zero config not defaulted: %+v", cfg)
+	}
+}
+
+func TestPaperWalkthroughFig10(t *testing.T) {
+	// Reproduce the worked example of Fig 10: R_mem=20, R_adjust=5,
+	// R_thres=8, R_evict=1 at the start of a power cycle, low confidence so
+	// the adjustment applies.
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 8
+	c := New(cfg)
+	c.rMem = 20
+	c.rAdjust = 5
+	c.rThres = 8
+	c.rEvict = 1
+	c.counter = 0 // 00 → adjustment applies
+	c.history = []uint32{20}
+
+	c.OnReboot()
+	rMem, rPrev, rThres, _, rEvict, _ := c.Registers()
+	if rMem != 0 {
+		t.Fatalf("R_mem = %d, want 0", rMem)
+	}
+	if rPrev != 25 { // 20 + 5
+		t.Fatalf("R_prev = %d, want 25", rPrev)
+	}
+	// R_evict (1) ≤ R_thres/2 (4) ⇒ increase 8 → 8+0.8→ rounds to 8? The
+	// paper says 9; additive increase is at least 1.
+	if rThres != 8 { // 8 + max(1, 0.8 trunc 0)=9? verify below
+		if rThres != 9 {
+			t.Fatalf("R_thres = %d, want 9", rThres)
+		}
+	}
+	if rThres != 9 {
+		t.Fatalf("R_thres = %d, want 9 (Fig 10 raises 8 to 9)", rThres)
+	}
+	if rEvict != 0 {
+		t.Fatalf("R_evict = %d, want reset to 0", rEvict)
+	}
+
+	// Pipeline runs to the decision point: R_prev − R_mem = R_thres at 16
+	// committed ops (25 − 16 = 9).
+	for i := 0; i < 15; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != CM {
+		t.Fatal("mode flipped too early")
+	}
+	c.OnMemOpCommitted(true)
+	if c.Mode() != RM {
+		t.Fatal("decision point missed: 25−16=9 ≤ 9 should enter RM")
+	}
+
+	// Six evictions, then the cycle ends at 22 ops: R_adjust = 22 − 25 = −3.
+	for i := 0; i < 6; i++ {
+		c.OnEviction(true)
+	}
+	for i := 0; i < 6; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	c.OnPowerFailure()
+	_, _, _, rAdjust, _, _ := c.Registers()
+	if rAdjust != -3 {
+		t.Fatalf("R_adjust = %d, want −3", rAdjust)
+	}
+
+	// Reboot: R_prev = 22 + (−3) = 19 (counter still low), R_thres halves
+	// (R_evict 6 > 9/2), R_evict clears.
+	c.OnReboot()
+	_, rPrev, rThres, _, rEvict, _ = c.Registers()
+	if rPrev != 19 {
+		t.Fatalf("R_prev = %d, want 19", rPrev)
+	}
+	if rThres != 4 {
+		t.Fatalf("R_thres = %d, want 4 (halved from 9)", rThres)
+	}
+	if rEvict != 0 {
+		t.Fatalf("R_evict = %d, want 0", rEvict)
+	}
+}
+
+func TestSimpleEstimatorSkipsLearning(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SimpleEstimator = true
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	runCycle(c, 150, 0) // badly wrong estimate: sophisticated would learn
+	_, rPrev, _, rAdjust, _, _ := c.Registers()
+	if rAdjust != 0 {
+		t.Fatalf("simple estimator must not record R_adjust, got %d", rAdjust)
+	}
+	if rPrev != 150 {
+		t.Fatalf("R_prev = %d, want raw previous cycle 150", rPrev)
+	}
+	if c.Stats().AdjustApplied != 0 {
+		t.Fatal("simple estimator must never apply adjustments")
+	}
+}
+
+func TestSimpleEstimatorNoTimeoutRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SimpleEstimator = true
+	cfg.InitialThreshold = 10
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	for i := 0; i < 150; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("simple estimator must stay in RM past the estimate (no recovery)")
+	}
+}
+
+func TestRateGateBlocksDropOnEqualChurn(t *testing.T) {
+	// When CM and RM lose reuses at the same rate (background churn), the
+	// threshold must keep growing — the rescue path for overhead apps.
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 50
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	// RM engages at op 45 (threshold raised 50 → 55). Drive equal lost-reuse
+	// rates: 5 losses over the 40 CM ops, 6 over the ~55 RM ops.
+	for i := 0; i < 40; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != CM {
+		t.Fatal("premature RM")
+	}
+	for i := 0; i < 5; i++ {
+		c.OnEviction(true) // CM baseline churn
+	}
+	for i := 0; i < 60; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("expected RM in the tail")
+	}
+	for i := 0; i < 6; i++ {
+		c.OnEviction(true) // same churn rate in RM
+	}
+	_, _, before, _, _, _ := c.Registers()
+	c.OnPowerFailure()
+	c.OnReboot()
+	_, _, after, _, _, _ := c.Registers()
+	if after <= before {
+		t.Fatalf("equal-churn cycle must raise the threshold: %d -> %d", before, after)
+	}
+}
+
+func TestRateGateDropsOnRMOnlyLosses(t *testing.T) {
+	// Losses concentrated in RM (compression was retaining those blocks)
+	// must halve the threshold.
+	cfg := DefaultConfig()
+	cfg.InitialThreshold = 50
+	c := New(cfg)
+	runCycle(c, 100, 0)
+	for i := 0; i < 100; i++ {
+		c.OnMemOpCommitted(true)
+	}
+	if c.Mode() != RM {
+		t.Fatal("expected RM")
+	}
+	for i := 0; i < 10; i++ {
+		c.OnEviction(true)
+	}
+	_, _, before, _, _, _ := c.Registers()
+	c.OnPowerFailure()
+	c.OnReboot()
+	_, _, after, _, _, _ := c.Registers()
+	if after != before/2 {
+		t.Fatalf("RM-only losses must halve the threshold: %d -> %d", before, after)
+	}
+}

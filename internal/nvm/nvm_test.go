@@ -1,0 +1,165 @@
+package nvm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{ReRAM: "ReRAM", PCM: "PCM", STTRAM: "STTRAM"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, name := range []string{"ReRAM", "pcm", "STT-RAM", "sttram"} {
+		if _, err := KindByName(name); err != nil {
+			t.Errorf("KindByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := KindByName("flash"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestParamsOrdering(t *testing.T) {
+	re, pcm, stt := ParamsFor(ReRAM), ParamsFor(PCM), ParamsFor(STTRAM)
+	if !(pcm.WriteEnergyPJPerByte > re.WriteEnergyPJPerByte) {
+		t.Error("PCM writes should cost more than ReRAM")
+	}
+	if !(stt.ReadLatencyCycles < pcm.ReadLatencyCycles) {
+		t.Error("STT-RAM reads should be faster than PCM")
+	}
+}
+
+func TestSizeScalesEnergy(t *testing.T) {
+	small := Config{Params: ParamsFor(ReRAM), SizeBytes: 2 << 20}
+	ref := Config{Params: ParamsFor(ReRAM), SizeBytes: 16 << 20}
+	big := Config{Params: ParamsFor(ReRAM), SizeBytes: 32 << 20}
+	if !(small.ReadEnergy(32) < ref.ReadEnergy(32) && ref.ReadEnergy(32) < big.ReadEnergy(32)) {
+		t.Fatalf("energy not monotone in size: %g %g %g",
+			small.ReadEnergy(32), ref.ReadEnergy(32), big.ReadEnergy(32))
+	}
+	if math.Abs(ref.ReadEnergy(32)-0.45*32*1e-12) > 1e-15 {
+		t.Fatalf("reference read energy off: %g", ref.ReadEnergy(32))
+	}
+}
+
+func TestReadUnwrittenUsesSynth(t *testing.T) {
+	synth := func(addr uint32, buf []byte) {
+		for i := range buf {
+			buf[i] = byte(addr) + byte(i)
+		}
+	}
+	m := New(DefaultConfig(), 32, synth)
+	buf := make([]byte, 32)
+	m.ReadBlock(64, buf)
+	want := make([]byte, 32)
+	synth(64, want)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("synthesized content mismatch")
+	}
+}
+
+func TestReadUnwrittenNilSynthIsZero(t *testing.T) {
+	m := New(DefaultConfig(), 32, nil)
+	buf := bytes.Repeat([]byte{0xff}, 32)
+	m.ReadBlock(0, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("nil synth should zero the buffer")
+		}
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	m := New(DefaultConfig(), 32, func(_ uint32, buf []byte) {
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+	})
+	data := bytes.Repeat([]byte{0x5B}, 32)
+	m.WriteBlock(100, data) // unaligned address within block 96
+	got := make([]byte, 32)
+	m.ReadBlock(96, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-after-write mismatch")
+	}
+	// Neighboring block untouched.
+	m.ReadBlock(128, got)
+	if got[0] != 0xAA {
+		t.Fatal("neighboring block affected")
+	}
+	if m.TouchedBlocks() != 1 {
+		t.Fatalf("touched = %d, want 1", m.TouchedBlocks())
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	m := New(DefaultConfig(), 4, nil)
+	data := []byte{1, 2, 3, 4}
+	m.WriteBlock(0, data)
+	data[0] = 99
+	got := make([]byte, 4)
+	m.ReadBlock(0, got)
+	if got[0] != 1 {
+		t.Fatal("WriteBlock aliased caller's slice")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := New(DefaultConfig(), 32, nil)
+	buf := make([]byte, 32)
+	m.ReadBlock(0, buf)
+	m.WriteBlock(0, buf)
+	lat, e := m.WriteRaw(128) // 4 blocks
+	if m.Reads != 1 || m.Writes != 1+4 {
+		t.Fatalf("counters = %d reads, %d writes", m.Reads, m.Writes)
+	}
+	if lat != 4*ParamsFor(ReRAM).WriteLatencyCycles {
+		t.Fatalf("raw write latency = %d", lat)
+	}
+	if e <= 0 {
+		t.Fatal("raw write energy must be positive")
+	}
+	m.Reset()
+	if m.Reads != 0 || m.Writes != 0 || m.TouchedBlocks() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestAccessEnergiesPositive(t *testing.T) {
+	m := New(DefaultConfig(), 32, nil)
+	buf := make([]byte, 32)
+	if lat, e := m.ReadBlock(0, buf); lat <= 0 || e <= 0 {
+		t.Fatal("read latency/energy must be positive")
+	}
+	if lat, e := m.WriteBlock(0, buf); lat <= 0 || e <= 0 {
+		t.Fatal("write latency/energy must be positive")
+	}
+}
+
+func TestMismatchedBufferPanics(t *testing.T) {
+	m := New(DefaultConfig(), 32, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short buffer")
+		}
+	}()
+	m.ReadBlock(0, make([]byte, 16))
+}
+
+func TestReadRawCountsBlocks(t *testing.T) {
+	m := New(DefaultConfig(), 32, nil)
+	lat, _ := m.ReadRaw(33) // 2 blocks
+	if lat != 2*ParamsFor(ReRAM).ReadLatencyCycles {
+		t.Fatalf("latency = %d", lat)
+	}
+	if m.Reads != 2 {
+		t.Fatalf("reads = %d", m.Reads)
+	}
+}

@@ -1,0 +1,8 @@
+package rng
+
+import "math"
+
+// Thin wrappers so the hot paths in rng.go read cleanly.
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAt verifies that App is safe for concurrent readers — the
+// experiment lab fans simulations sharing one App instance across
+// goroutines. Run with -race to make this meaningful.
+func TestConcurrentAt(t *testing.T) {
+	app, err := ByName("mpeg2", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Instr, 1000)
+	for i := range want {
+		want[i] = app.At(int64(i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i := range want {
+					if app.At(int64(i)) != want[i] {
+						errs <- "concurrent At diverged"
+						return
+					}
+				}
+			}
+			_ = app.FillBlock // Synthesizer is shared too
+			buf := make([]byte, 32)
+			app.FillBlock(0x1000_0000, buf)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestSuiteConcurrentConstruction: building suites from multiple goroutines
+// (the lab builds per-scale apps lazily) must be independent.
+func TestSuiteConcurrentConstruction(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			apps := Suite(0.05)
+			if len(apps) != 20 {
+				t.Error("bad suite")
+			}
+		}()
+	}
+	wg.Wait()
+}

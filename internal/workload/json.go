@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON workload definitions let users describe custom applications in a
+// file instead of Go code (used by kagura-sim's -workload flag). The schema
+// mirrors the App structure with human-readable class/pattern/kind names:
+//
+//	{
+//	  "name": "my-sensor",
+//	  "seed": 42,
+//	  "regions": [
+//	    {"base": 268435456, "sizeWords": 64, "hotWords": 64, "class": "narrow"}
+//	  ],
+//	  "phases": [
+//	    {
+//	      "iterations": 10000,
+//	      "codeBase": 65536,
+//	      "codeWords": 48,
+//	      "body": ["arith", "load hot 0", "arith", "store seq 0"]
+//	    }
+//	  ]
+//	}
+//
+// Body slots are either "arith" or "<load|store> <seq|stride|hot|rand> <region>".
+
+type jsonRegion struct {
+	Base      uint32 `json:"base"`
+	SizeWords int    `json:"sizeWords"`
+	HotWords  int    `json:"hotWords"`
+	Class     string `json:"class"`
+}
+
+type jsonPhase struct {
+	Iterations int64    `json:"iterations"`
+	CodeBase   uint32   `json:"codeBase"`
+	CodeWords  int      `json:"codeWords"`
+	Body       []string `json:"body"`
+}
+
+type jsonApp struct {
+	Name    string       `json:"name"`
+	Seed    uint64       `json:"seed"`
+	Regions []jsonRegion `json:"regions"`
+	Phases  []jsonPhase  `json:"phases"`
+}
+
+// classByName parses a value-class name.
+func classByName(name string) (Class, error) {
+	switch strings.ToLower(name) {
+	case "zeros":
+		return ClassZeros, nil
+	case "narrow":
+		return ClassNarrow, nil
+	case "text":
+		return ClassText, nil
+	case "pointer":
+		return ClassPointer, nil
+	case "random":
+		return ClassRandom, nil
+	case "code":
+		return ClassCode, nil
+	}
+	return 0, fmt.Errorf("workload: unknown value class %q", name)
+}
+
+// patternByName parses an access-pattern name.
+func patternByName(name string) (Pattern, error) {
+	switch strings.ToLower(name) {
+	case "seq":
+		return PatSeq, nil
+	case "stride":
+		return PatStride, nil
+	case "hot":
+		return PatHot, nil
+	case "rand", "random":
+		return PatRand, nil
+	}
+	return 0, fmt.Errorf("workload: unknown access pattern %q", name)
+}
+
+// parseSlot parses one body-slot string.
+func parseSlot(s string, regions int) (Slot, error) {
+	fields := strings.Fields(strings.ToLower(s))
+	if len(fields) == 1 && fields[0] == "arith" {
+		return Slot{Kind: Arith}, nil
+	}
+	if len(fields) != 3 {
+		return Slot{}, fmt.Errorf("workload: slot %q must be \"arith\" or \"<load|store> <pattern> <region>\"", s)
+	}
+	var kind SlotKind
+	switch fields[0] {
+	case "load":
+		kind = Load
+	case "store":
+		kind = Store
+	default:
+		return Slot{}, fmt.Errorf("workload: unknown slot kind %q", fields[0])
+	}
+	pat, err := patternByName(fields[1])
+	if err != nil {
+		return Slot{}, err
+	}
+	var region int
+	if _, err := fmt.Sscanf(fields[2], "%d", &region); err != nil {
+		return Slot{}, fmt.Errorf("workload: bad region index %q", fields[2])
+	}
+	if region < 0 || region >= regions {
+		return Slot{}, fmt.Errorf("workload: region index %d out of range (have %d regions)", region, regions)
+	}
+	return Slot{Kind: kind, Pattern: pat, Region: region}, nil
+}
+
+// FromJSON builds an App from a JSON definition.
+func FromJSON(r io.Reader) (*App, error) {
+	var ja jsonApp
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ja); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if ja.Name == "" {
+		return nil, fmt.Errorf("workload: app needs a name")
+	}
+	if len(ja.Regions) == 0 || len(ja.Phases) == 0 {
+		return nil, fmt.Errorf("workload: app %q needs at least one region and one phase", ja.Name)
+	}
+	app := &App{Name: ja.Name, Seed: ja.Seed}
+	for _, jr := range ja.Regions {
+		if jr.SizeWords <= 0 {
+			return nil, fmt.Errorf("workload: region with non-positive size")
+		}
+		if jr.Base < dataBase {
+			return nil, fmt.Errorf("workload: region base %#x collides with code space (must be ≥ %#x)", jr.Base, uint32(dataBase))
+		}
+		class, err := classByName(jr.Class)
+		if err != nil {
+			return nil, err
+		}
+		app.Regions = append(app.Regions, Region{
+			Base: jr.Base, SizeWords: jr.SizeWords, HotWords: jr.HotWords, Class: class,
+		})
+	}
+	for pi, jp := range ja.Phases {
+		if jp.Iterations <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has non-positive iterations", pi)
+		}
+		if len(jp.Body) == 0 {
+			return nil, fmt.Errorf("workload: phase %d has an empty body", pi)
+		}
+		if jp.CodeBase == 0 || jp.CodeBase >= dataBase {
+			return nil, fmt.Errorf("workload: phase %d code base %#x must be nonzero and below %#x", pi, jp.CodeBase, uint32(dataBase))
+		}
+		phase := Phase{
+			Iterations: jp.Iterations,
+			CodeBase:   jp.CodeBase,
+			CodeWords:  jp.CodeWords,
+		}
+		if phase.CodeWords <= 0 {
+			phase.CodeWords = len(jp.Body)
+		}
+		for _, slotStr := range jp.Body {
+			slot, err := parseSlot(slotStr, len(app.Regions))
+			if err != nil {
+				return nil, fmt.Errorf("phase %d: %w", pi, err)
+			}
+			phase.Body = append(phase.Body, slot)
+		}
+		app.Phases = append(app.Phases, phase)
+	}
+	app.Build()
+	return app, nil
+}
+
+// ToJSON serializes an App into the JSON definition format (inverse of
+// FromJSON for round-trip tooling).
+func (a *App) ToJSON(w io.Writer) error {
+	ja := jsonApp{Name: a.Name, Seed: a.Seed}
+	for _, r := range a.Regions {
+		ja.Regions = append(ja.Regions, jsonRegion{
+			Base: r.Base, SizeWords: r.SizeWords, HotWords: r.HotWords,
+			Class: r.Class.String(),
+		})
+	}
+	patName := map[Pattern]string{PatSeq: "seq", PatStride: "stride", PatHot: "hot", PatRand: "rand"}
+	for _, p := range a.Phases {
+		jp := jsonPhase{Iterations: p.Iterations, CodeBase: p.CodeBase, CodeWords: p.CodeWords}
+		for _, s := range p.Body {
+			switch s.Kind {
+			case Arith:
+				jp.Body = append(jp.Body, "arith")
+			case Load:
+				jp.Body = append(jp.Body, fmt.Sprintf("load %s %d", patName[s.Pattern], s.Region))
+			case Store:
+				jp.Body = append(jp.Body, fmt.Sprintf("store %s %d", patName[s.Pattern], s.Region))
+			}
+		}
+		ja.Phases = append(ja.Phases, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ja)
+}

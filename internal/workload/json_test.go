@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "my-sensor",
+  "seed": 42,
+  "regions": [
+    {"base": 268435456, "sizeWords": 64, "hotWords": 64, "class": "narrow"},
+    {"base": 269484032, "sizeWords": 2048, "class": "zeros"}
+  ],
+  "phases": [
+    {
+      "iterations": 1000,
+      "codeBase": 65536,
+      "codeWords": 48,
+      "body": ["load hot 0", "arith", "arith", "store seq 1", "arith", "load hot 0"]
+    }
+  ]
+}`
+
+func TestFromJSON(t *testing.T) {
+	app, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "my-sensor" || app.Seed != 42 {
+		t.Fatalf("header wrong: %+v", app)
+	}
+	if app.Len() != 6000 {
+		t.Fatalf("length = %d, want 6000", app.Len())
+	}
+	// HotWords defaulting for region 1.
+	if app.Regions[1].HotWords == 0 {
+		t.Fatal("HotWords not defaulted by Build")
+	}
+	// Executable immediately.
+	ins := app.At(0)
+	if !ins.IsMem || ins.IsStore {
+		t.Fatalf("slot 0 should be a load, got %+v", ins)
+	}
+	if app.At(3); !app.At(3).IsStore {
+		t.Fatal("slot 3 should be a store")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.ToJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("length changed: %d vs %d", back.Len(), orig.Len())
+	}
+	for _, i := range []int64{0, 1, 5999} {
+		if back.At(i) != orig.At(i) {
+			t.Fatalf("instruction %d differs after round trip", i)
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         `{"name":`,
+		"no name":         `{"regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"no regions":      `{"name":"x","phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"bad class":       `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"fuzzy"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"bad pattern":     `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["load diagonal 0"]}]}`,
+		"bad region idx":  `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["load hot 7"]}]}`,
+		"zero iterations": `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":0,"codeBase":4096,"body":["arith"]}]}`,
+		"empty body":      `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":[]}]}`,
+		"code collision":  `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":268435456,"body":["arith"]}]}`,
+		"region in code":  `{"name":"x","regions":[{"base":4096,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"unknown field":   `{"name":"x","bogus":1,"regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"bad slot":        `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["load hot"]}]}`,
+	}
+	for name, js := range cases {
+		if _, err := FromJSON(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestClassAndPatternParsers(t *testing.T) {
+	for _, name := range []string{"zeros", "narrow", "text", "pointer", "random", "code"} {
+		if _, err := classByName(name); err != nil {
+			t.Errorf("classByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"seq", "stride", "hot", "rand", "random"} {
+		if _, err := patternByName(name); err != nil {
+			t.Errorf("patternByName(%q): %v", name, err)
+		}
+	}
+}

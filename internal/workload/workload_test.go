@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"testing"
+
+	"kagura/internal/compress"
+)
+
+func TestSuiteHasTwentyApps(t *testing.T) {
+	apps := Suite(1)
+	if len(apps) != 20 {
+		t.Fatalf("suite has %d apps, want 20", len(apps))
+	}
+	seen := make(map[string]bool)
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"jpeg", "jpegd", "blowfish", "g721d", "patricia", "strings", "typeset", "susans"} {
+		if !seen[want] {
+			t.Fatalf("missing paper application %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("jpegd", 1)
+	if err != nil || a.Name != "jpegd" {
+		t.Fatalf("ByName(jpegd) = %v, %v", a, err)
+	}
+	if _, err := ByName("doom", 1); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a1, _ := ByName("jpeg", 1)
+	a2, _ := ByName("jpeg", 1)
+	for _, i := range []int64{0, 1, 999, a1.Len() - 1} {
+		if a1.At(i) != a2.At(i) {
+			t.Fatalf("instruction %d differs across instances", i)
+		}
+	}
+}
+
+func TestPureFunctionNoOrderDependence(t *testing.T) {
+	a, _ := ByName("mpeg2", 1)
+	// Reading out of order must give the same answers as in order.
+	idx := []int64{500, 10, 100_000, 10, 500}
+	first := make(map[int64]Instr)
+	for _, i := range idx {
+		ins := a.At(i)
+		if prev, ok := first[i]; ok && prev != ins {
+			t.Fatalf("At(%d) not pure", i)
+		}
+		first[i] = ins
+	}
+}
+
+func TestLengthsNearTarget(t *testing.T) {
+	for _, a := range Suite(1) {
+		if a.Len() < defaultLength/2 || a.Len() > defaultLength*2 {
+			t.Errorf("%s: length %d far from target %d", a.Name, a.Len(), defaultLength)
+		}
+	}
+	for _, a := range Suite(0.1) {
+		if a.Len() > defaultLength/4 {
+			t.Errorf("%s: scale 0.1 length %d too long", a.Name, a.Len())
+		}
+	}
+}
+
+func TestInstructionShape(t *testing.T) {
+	for _, a := range Suite(0.05) {
+		var mem, store int64
+		n := a.Len()
+		for i := int64(0); i < n; i++ {
+			ins := a.At(i)
+			if ins.PC == 0 {
+				t.Fatalf("%s: zero PC at %d", a.Name, i)
+			}
+			if ins.PC >= dataBase {
+				t.Fatalf("%s: PC %#x inside data space", a.Name, ins.PC)
+			}
+			if ins.IsMem {
+				mem++
+				if ins.Addr < dataBase {
+					t.Fatalf("%s: data address %#x inside code space", a.Name, ins.Addr)
+				}
+				if ins.Addr%4 != 0 {
+					t.Fatalf("%s: unaligned address %#x", a.Name, ins.Addr)
+				}
+				if ins.IsStore {
+					store++
+				}
+			} else if ins.Addr != 0 || ins.Value != 0 {
+				t.Fatalf("%s: arith op with memory fields at %d", a.Name, i)
+			}
+		}
+		if mem == 0 || store == 0 {
+			t.Fatalf("%s: degenerate instruction mix (mem=%d store=%d)", a.Name, mem, store)
+		}
+		frac := float64(mem) / float64(n)
+		if frac < 0.08 || frac > 0.6 {
+			t.Errorf("%s: memory fraction %.2f outside sane range", a.Name, frac)
+		}
+	}
+}
+
+func TestMemOpFractionMatchesEmpirical(t *testing.T) {
+	a, _ := ByName("gsmd", 0.05)
+	var mem int64
+	for i := int64(0); i < a.Len(); i++ {
+		if a.At(i).IsMem {
+			mem++
+		}
+	}
+	want := a.MemOpFraction()
+	got := float64(mem) / float64(a.Len())
+	if diff := got - want; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("empirical %f vs computed %f", got, want)
+	}
+}
+
+func TestArithmeticIntensityOrdering(t *testing.T) {
+	// Fig 17's premise: jpegd/jpeg are memory-bound; patricia/strings are
+	// compute-bound.
+	ai := func(name string) float64 {
+		a, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.ArithmeticIntensity()
+	}
+	if !(ai("jpegd") < ai("gsm") && ai("gsm") < ai("patricia") && ai("patricia") < ai("strings")) {
+		t.Fatalf("intensity ordering broken: jpegd=%.1f gsm=%.1f patricia=%.1f strings=%.1f",
+			ai("jpegd"), ai("gsm"), ai("patricia"), ai("strings"))
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	for _, a := range Suite(0.02) {
+		for i := int64(0); i < a.Len(); i++ {
+			ins := a.At(i)
+			if !ins.IsMem {
+				continue
+			}
+			inRegion := false
+			for _, r := range a.Regions {
+				if ins.Addr >= r.Base && ins.Addr < r.Base+uint32(r.SizeWords)*4 {
+					inRegion = true
+					break
+				}
+			}
+			if !inRegion {
+				t.Fatalf("%s: address %#x outside all regions", a.Name, ins.Addr)
+			}
+		}
+	}
+}
+
+func TestFillBlockDeterministicAndClassed(t *testing.T) {
+	a, _ := ByName("jpeg", 1)
+	b1 := make([]byte, 32)
+	b2 := make([]byte, 32)
+	a.FillBlock(dataBase, b1)
+	a.FillBlock(dataBase, b2)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("FillBlock not deterministic")
+		}
+	}
+}
+
+func TestValueClassCompressibility(t *testing.T) {
+	// The class design only works if the compressors actually see the
+	// intended compressibility spread. Measure BDI compressed size across
+	// classes.
+	avgSize := func(c Class) float64 {
+		total, n := 0, 0
+		for blk := 0; blk < 200; blk++ {
+			buf := make([]byte, 32)
+			base := uint32(blk) * 32
+			for off := 0; off < 32; off += 4 {
+				v := ClassValue(c, base+uint32(off), 42)
+				buf[off] = byte(v)
+				buf[off+1] = byte(v >> 8)
+				buf[off+2] = byte(v >> 16)
+				buf[off+3] = byte(v >> 24)
+			}
+			if _, size, ok := (compress.BDI{}).Compress(buf); ok {
+				total += size
+			} else {
+				total += 32
+			}
+			n++
+		}
+		return float64(total) / float64(n)
+	}
+	zeros := avgSize(ClassZeros)
+	narrow := avgSize(ClassNarrow)
+	pointer := avgSize(ClassPointer)
+	random := avgSize(ClassRandom)
+	if !(zeros < 16 && narrow < 16) {
+		t.Errorf("zeros=%.1f narrow=%.1f: media classes should compress to < half", zeros, narrow)
+	}
+	if pointer >= 24 {
+		t.Errorf("pointer=%.1f: pointer class should compress moderately", pointer)
+	}
+	if random < 30 {
+		t.Errorf("random=%.1f: random class should be incompressible", random)
+	}
+}
+
+func TestClassValueDeterministic(t *testing.T) {
+	for c := ClassZeros; c <= ClassCode; c++ {
+		if ClassValue(c, 0x1000, 7) != ClassValue(c, 0x1000, 7) {
+			t.Fatalf("class %v not deterministic", c)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[Class]string{
+		ClassZeros: "zeros", ClassNarrow: "narrow", ClassText: "text",
+		ClassPointer: "pointer", ClassRandom: "random", ClassCode: "code",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestCodeFootprints(t *testing.T) {
+	for _, a := range Suite(1) {
+		for pi, p := range a.Phases {
+			if p.CodeWords <= 0 {
+				t.Errorf("%s phase %d: no code footprint", a.Name, pi)
+			}
+			if p.CodeWords*4 > 1024 {
+				t.Errorf("%s phase %d: implausible %dB loop body", a.Name, pi, p.CodeWords*4)
+			}
+		}
+	}
+}
+
+func TestHotWorkingSetsTouchFewBlocks(t *testing.T) {
+	// Hot-pattern working sets should be bounded: count distinct blocks
+	// touched by the first 50k instructions.
+	a, _ := ByName("jpegd", 1)
+	blocks := make(map[uint32]bool)
+	for i := int64(0); i < 50_000; i++ {
+		ins := a.At(i)
+		if ins.IsMem {
+			blocks[ins.Addr/32] = true
+		}
+	}
+	if len(blocks) < 8 {
+		t.Fatalf("jpegd touches only %d blocks; working set degenerate", len(blocks))
+	}
+	if len(blocks) > 2000 {
+		t.Fatalf("jpegd touches %d blocks in 50k instrs; locality too weak", len(blocks))
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	a, _ := ByName("jpeg", 1)
+	n := a.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.At(int64(i) % n)
+	}
+}
+
+func TestCodeWalkCoversFootprint(t *testing.T) {
+	// The chunked fetch model must actually touch the declared code
+	// footprint (that is what creates ICache pressure).
+	a, _ := ByName("jpeg", 1)
+	pcs := make(map[uint32]bool)
+	for i := int64(0); i < 200_000 && i < a.Len(); i++ {
+		pcs[a.At(i).PC] = true
+	}
+	covered := len(pcs)
+	want := a.Phases[0].CodeWords
+	if covered < want/2 {
+		t.Fatalf("fetch stream covered %d distinct PCs, want most of %d", covered, want)
+	}
+}
+
+func TestHotPathDominatesFetches(t *testing.T) {
+	// ~60% of iterations run chunk 0, so its PCs must be the most frequent.
+	a, _ := ByName("mpeg2", 1)
+	p := a.Phases[0]
+	counts := make(map[uint32]int64)
+	n := p.Iterations * int64(len(p.Body))
+	if n > 300_000 {
+		n = 300_000
+	}
+	for i := int64(0); i < n; i++ {
+		counts[a.At(i).PC]++
+	}
+	hot := counts[p.CodeBase] // first word of chunk 0
+	coldBase := p.CodeBase + uint32(len(p.Body))*4
+	cold := counts[coldBase]
+	if hot <= cold {
+		t.Fatalf("hot chunk (%d) should out-fetch cold chunks (%d)", hot, cold)
+	}
+}
+
+func TestPhaseBoundaryContinuity(t *testing.T) {
+	// Crossing a phase boundary must not produce out-of-range slots.
+	a, _ := ByName("susan", 0.2)
+	if len(a.Phases) < 2 {
+		t.Skip("needs a multi-phase app")
+	}
+	boundary := a.Phases[0].Iterations * int64(len(a.Phases[0].Body))
+	for i := boundary - 5; i < boundary+5; i++ {
+		ins := a.At(i)
+		if ins.PC == 0 {
+			t.Fatalf("bad instruction at boundary offset %d", i-boundary)
+		}
+	}
+	// The second phase must use its own code base.
+	if a.At(boundary).PC < a.Phases[1].CodeBase {
+		t.Fatalf("phase 2 PC %#x below its code base %#x", a.At(boundary).PC, a.Phases[1].CodeBase)
+	}
+}

@@ -1,0 +1,229 @@
+// Package kagura is a from-scratch reproduction of "Intermittence-Aware
+// Cache Compression" (HPCA 2026): the Kagura controller, the adaptive cache
+// compression (ACC) baseline it extends, and the complete energy-harvesting-
+// system (EHS) simulation substrate the paper evaluates on — power traces,
+// capacitor energy buffer, compressed SRAM caches, NVM main memory, JIT
+// checkpointing, and the 20-application workload suite.
+//
+// # Quick start
+//
+//	app, _ := kagura.Workload("jpeg", 1.0)
+//	trace, _ := kagura.Trace("RFHome", 1)
+//
+//	base := kagura.DefaultConfig(app, trace)             // no compression
+//	withKagura := base.WithACC(kagura.BDI{}).
+//		WithKagura(kagura.DefaultController())           // ACC + Kagura
+//
+//	b, _ := kagura.Run(base)
+//	k, _ := kagura.Run(withKagura)
+//	fmt.Printf("speedup %+.2f%%\n", 100*k.Speedup(b))
+//
+// # Reproducing the paper
+//
+//	lab := kagura.NewLab(kagura.DefaultOptions())
+//	res, _ := lab.Run("fig13")
+//	fmt.Print(res.Render())
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package kagura
+
+import (
+	"io"
+
+	"kagura/internal/compress"
+	"kagura/internal/ehs"
+	"kagura/internal/experiments"
+	"kagura/internal/kagura"
+	"kagura/internal/nvm"
+	"kagura/internal/powertrace"
+	"kagura/internal/workload"
+)
+
+// Simulation configuration and results.
+type (
+	// SimConfig fully describes one simulation run.
+	SimConfig = ehs.Config
+	// Result is everything a run produces: timing, energy breakdown, cache
+	// statistics, power-cycle log.
+	Result = ehs.Result
+	// EnergyBreakdown splits consumption into Fig 16's six categories.
+	EnergyBreakdown = ehs.EnergyBreakdown
+	// Design selects the EHS crash-consistency architecture.
+	Design = ehs.Design
+	// Oracle drives the ideal intermittence-aware compressor (two-phase
+	// record/replay).
+	Oracle = ehs.Oracle
+)
+
+// EHS designs (§VIII-H1).
+const (
+	NVSRAMCache = ehs.NVSRAMCache
+	NvMR        = ehs.NvMR
+	SweepCache  = ehs.SweepCache
+)
+
+// Controller configuration.
+type (
+	// ControllerConfig parameterizes the Kagura controller.
+	ControllerConfig = kagura.Config
+	// Controller is Kagura's register-level hardware state.
+	Controller = kagura.Controller
+	// Policy is the R_thres adaptation policy (AIMD default).
+	Policy = kagura.Policy
+	// Trigger selects memory-count or voltage triggering.
+	Trigger = kagura.Trigger
+)
+
+// Adaptation policies and triggers (§VIII-H2, H4).
+const (
+	AIMD = kagura.AIMD
+	MIAD = kagura.MIAD
+	AIAD = kagura.AIAD
+	MIMD = kagura.MIMD
+
+	TriggerMem     = kagura.TriggerMem
+	TriggerVoltage = kagura.TriggerVoltage
+)
+
+// Compression codecs (§II-B).
+type (
+	// Codec is a lossless cache-block compressor.
+	Codec = compress.Codec
+	// BDI is Base-Delta-Immediate (the paper's default).
+	BDI = compress.BDI
+	// FPC is Frequent Pattern Compression.
+	FPC = compress.FPC
+	// CPack is C-Pack.
+	CPack = compress.CPack
+	// DZC is Dynamic Zero Compression.
+	DZC = compress.DZC
+	// BPC is Bit-Plane Compression (§IX related work).
+	BPC = compress.BPC
+	// FVC is a per-block Frequent Value Compression variant (§IX).
+	FVC = compress.FVC
+)
+
+// Workload modeling.
+type (
+	// App is a synthetic application: a pure function from instruction index
+	// to committed instruction.
+	App = workload.App
+	// Region is a data region with a value class.
+	Region = workload.Region
+	// Phase is a loop nest of an App.
+	Phase = workload.Phase
+	// Slot is one position in a loop body.
+	Slot = workload.Slot
+	// ValueClass describes a region's value population (compressibility).
+	ValueClass = workload.Class
+)
+
+// Value classes for custom workloads.
+const (
+	ClassZeros   = workload.ClassZeros
+	ClassNarrow  = workload.ClassNarrow
+	ClassText    = workload.ClassText
+	ClassPointer = workload.ClassPointer
+	ClassRandom  = workload.ClassRandom
+)
+
+// Access patterns and slot kinds for custom workloads.
+const (
+	PatSeq    = workload.PatSeq
+	PatStride = workload.PatStride
+	PatHot    = workload.PatHot
+	PatRand   = workload.PatRand
+
+	Arith = workload.Arith
+	Load  = workload.Load
+	Store = workload.Store
+)
+
+// Power traces.
+type (
+	// PowerTrace is an ambient power trace (one sample per 10µs).
+	PowerTrace = powertrace.Trace
+)
+
+// NVM technologies (§VIII-H12).
+type NVMKind = nvm.Kind
+
+const (
+	ReRAM  = nvm.ReRAM
+	PCM    = nvm.PCM
+	STTRAM = nvm.STTRAM
+)
+
+// Experiment harness.
+type (
+	// Lab runs paper experiments with memoized simulations.
+	Lab = experiments.Lab
+	// LabOptions configures experiment fidelity.
+	LabOptions = experiments.Options
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+)
+
+// DefaultConfig returns the paper's Table I system for an app and trace:
+// 256B 2-way I/D caches with 32B blocks, 4.7µF capacitor, 16MB ReRAM,
+// NVSRAMCache checkpointing, no compression.
+func DefaultConfig(app *App, trace *PowerTrace) SimConfig {
+	return ehs.Default(app, trace)
+}
+
+// DefaultController returns the paper's default Kagura settings (AIMD, 10%
+// step, 2-bit counter, single-cycle history, memory trigger).
+func DefaultController() ControllerConfig { return kagura.DefaultConfig() }
+
+// Run executes one simulation to completion.
+func Run(cfg SimConfig) (*Result, error) { return ehs.Run(cfg) }
+
+// NewOracle creates an empty oracle for ideal-compressor studies.
+func NewOracle() *Oracle { return ehs.NewOracle() }
+
+// Workload returns one of the 20 evaluation applications at the given length
+// scale (1.0 ≈ 600k instructions).
+func Workload(name string, scale float64) (*App, error) {
+	return workload.ByName(name, scale)
+}
+
+// Workloads lists the application names in evaluation order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadFromJSON builds a custom application from a JSON definition (see
+// internal/workload's FromJSON for the schema; kagura-sim's -workload flag
+// consumes the same format).
+func WorkloadFromJSON(r io.Reader) (*App, error) { return workload.FromJSON(r) }
+
+// Suite returns all 20 applications at the given scale.
+func Suite(scale float64) []*App { return workload.Suite(scale) }
+
+// Trace returns a built-in ambient power trace ("RFHome", "Solar",
+// "Thermal") synthesized from the given seed.
+func Trace(name string, seed uint64) (*PowerTrace, error) {
+	return powertrace.ByName(name, seed)
+}
+
+// Compressor returns a codec by name ("BDI", "FPC", "C-Pack", "DZC").
+func Compressor(name string) (Codec, error) { return compress.ByName(name) }
+
+// Compressors lists the codec names of the paper's Fig 23 study.
+func Compressors() []string { return compress.Names() }
+
+// CompressorsExtended returns every implemented codec, including the §IX
+// related compressors (BPC, FVC).
+func CompressorsExtended() []Codec { return compress.Extended() }
+
+// NewLab creates an experiment lab.
+func NewLab(opts LabOptions) *Lab { return experiments.New(opts) }
+
+// DefaultOptions returns full-fidelity experiment options (all apps, three
+// trace seeds, full-length workloads).
+func DefaultOptions() LabOptions { return experiments.Defaults() }
+
+// QuickOptions returns reduced experiment options for fast smoke runs.
+func QuickOptions() LabOptions { return experiments.Quick() }
+
+// Experiments lists the experiment ids in DESIGN.md order.
+func Experiments() []string { return experiments.IDs() }

@@ -1,0 +1,104 @@
+package kagura_test
+
+import (
+	"testing"
+
+	"kagura"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	app, err := kagura.Workload("jpeg", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := kagura.Trace("RFHome", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kagura.DefaultConfig(app, trace)
+	withKagura := base.WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController())
+
+	b, err := kagura.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kagura.Run(withKagura)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Completed || !k.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if k.Compressions == 0 {
+		t.Fatal("compression stack inactive")
+	}
+	_ = k.Speedup(b)
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if len(kagura.Workloads()) != 20 {
+		t.Fatalf("workloads = %d", len(kagura.Workloads()))
+	}
+	if len(kagura.Compressors()) != 4 {
+		t.Fatalf("compressors = %d", len(kagura.Compressors()))
+	}
+	if len(kagura.Experiments()) != 30 {
+		t.Fatalf("experiments = %d", len(kagura.Experiments()))
+	}
+	for _, name := range kagura.Compressors() {
+		if _, err := kagura.Compressor(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeCustomWorkload(t *testing.T) {
+	// A downstream user builds a custom sensing workload via the exported
+	// types and runs it against the paper's system.
+	app := &kagura.App{
+		Name: "custom-sensor",
+		Seed: 42,
+		Regions: []kagura.Region{
+			{Base: 0x1000_0000, SizeWords: 64, HotWords: 64, Class: kagura.ClassNarrow},
+			{Base: 0x1010_0000, SizeWords: 2048, HotWords: 256, Class: kagura.ClassZeros},
+		},
+		Phases: []kagura.Phase{{
+			Iterations: 3000,
+			Body: []kagura.Slot{
+				{Kind: kagura.Load, Pattern: kagura.PatSeq, Region: 1},
+				{Kind: kagura.Arith},
+				{Kind: kagura.Arith},
+				{Kind: kagura.Load, Pattern: kagura.PatHot, Region: 0},
+				{Kind: kagura.Arith},
+				{Kind: kagura.Store, Pattern: kagura.PatHot, Region: 0},
+				{Kind: kagura.Arith},
+				{Kind: kagura.Arith},
+			},
+			CodeBase:  0x0001_0000,
+			CodeWords: 48,
+		}},
+	}
+	app.Build()
+	trace, _ := kagura.Trace("Solar", 7)
+	res, err := kagura.Run(kagura.DefaultConfig(app, trace).
+		WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("custom workload did not complete")
+	}
+}
+
+func TestFacadeLab(t *testing.T) {
+	lab := kagura.NewLab(kagura.LabOptions{
+		Scale: 0.05, Seeds: []uint64{1}, Apps: []string{"gsm"}, SubsetSize: 1,
+	})
+	res, err := lab.Run("fig14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl := res.Render(); len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
