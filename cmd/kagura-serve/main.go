@@ -1,0 +1,107 @@
+// Command kagura-serve exposes the simulation service over HTTP.
+//
+// Usage:
+//
+//	kagura-serve -addr :8080 -workers 8 -timeout 5m
+//
+// Quick start:
+//
+//	curl -s localhost:8080/v1/workloads
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"app":"jpeg","scale":0.1,"codec":"BDI","acc":true,"kagura":true}'
+//	curl -s -X POST localhost:8080/v1/batch \
+//	    -d '{"jobs":[{"app":"jpeg","scale":0.1},{"app":"gsm","scale":0.1}]}'
+//	curl -s localhost:8080/v1/jobs/job-00000001
+//	curl -s localhost:8080/metrics
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
+// -grace to finish, then the worker pool is canceled and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kagura"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 1024, "queued-job bound before 503s")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+		retain  = flag.Int("retain", 4096, "finished jobs kept queryable by id")
+		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	opts := kagura.DefaultServiceOptions()
+	opts.Workers = *workers
+	opts.QueueDepth = *queue
+	opts.DefaultTimeout = *timeout
+	opts.RetainJobs = *retain
+	svc := kagura.NewService(opts)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(kagura.ServiceHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("kagura-serve: listening on %s (%d workers)", *addr, svc.Options().Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("kagura-serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("kagura-serve: shutting down (grace %s)", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("kagura-serve: forced shutdown: %v", err)
+		}
+	}
+	svc.Close() // reap in-flight jobs before the final tally
+	m := svc.Metrics()
+	log.Printf("kagura-serve: done — %d run, %d cached, %d failed, %d canceled",
+		m.JobsRun, m.JobsCached, m.JobsFailed, m.JobsCanceled)
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status,
+			fmt.Sprintf("%.1fms", float64(time.Since(start).Microseconds())/1000))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

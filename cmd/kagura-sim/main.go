@@ -4,11 +4,17 @@
 //
 //	kagura-sim -app jpeg -trace RFHome -codec BDI -acc -kagura
 //	kagura-sim -app typeset -design NvMR -codec BDI -acc -kagura -trigger vol
+//	kagura-sim -app jpeg -codec BDI -acc -json          # service JSON schema
 //	kagura-sim -list
+//
+// Flags translate into the same RunSpec the kagura-serve HTTP API consumes,
+// and -json emits the run in the service's RunResult schema, so CLI and API
+// outputs are interchangeable.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ func main() {
 		prefetch = flag.Bool("prefetch", false, "enable the IPEX-style next-line prefetcher")
 		compare  = flag.Bool("compare", false, "also run the compressor-free baseline and report speedup")
 		cycleCSV = flag.String("cyclelog", "", "write the per-power-cycle log (committed,loads,stores,cycles,cpi) as CSV")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON in the kagura-serve RunResult schema")
 		list     = flag.Bool("list", false, "list workloads, traces, codecs and exit")
 	)
 	flag.Parse()
@@ -46,80 +53,72 @@ func main() {
 		return
 	}
 
-	var app *kagura.App
-	var err error
-	if *appFile != "" {
-		f, ferr := os.Open(*appFile)
-		fatal(ferr)
-		app, err = kagura.WorkloadFromJSON(f)
-		fatal(err)
-		fatal(f.Close())
-	} else {
-		app, err = kagura.Workload(*appName, *scale)
-		fatal(err)
-	}
-	trace, err := kagura.Trace(*traceSrc, *seed)
-	fatal(err)
-
-	cfg := kagura.DefaultConfig(app, trace)
-	switch strings.ToLower(*design) {
-	case "nvsramcache":
-		cfg.Design = kagura.NVSRAMCache
-	case "nvmr":
-		cfg.Design = kagura.NvMR
-	case "sweepcache":
-		cfg.Design = kagura.SweepCache
-	default:
-		fatal(fmt.Errorf("unknown design %q", *design))
-	}
-	if *codec != "" {
-		c, err := kagura.Compressor(*codec)
-		fatal(err)
-		cfg.Codec = c
-		cfg.UseACC = *useACC
+	spec := kagura.RunSpec{
+		App:           *appName,
+		Scale:         *scale,
+		Trace:         *traceSrc,
+		Seed:          *seed,
+		Codec:         *codec,
+		ACC:           *useACC && *codec != "",
+		Kagura:        *useKag,
+		Design:        *design,
+		DecayInterval: *decay,
+		Prefetch:      *prefetch,
+		CycleLog:      *cycleCSV != "",
 	}
 	if *useKag {
-		kc := kagura.DefaultController()
-		if strings.EqualFold(*trigger, "vol") {
-			kc.Trigger = kagura.TriggerVoltage
-		}
-		// Policy selection.
-		switch strings.ToUpper(*policy) {
-		case "AIMD":
-			kc.Policy = kagura.AIMD
-		case "MIAD":
-			kc.Policy = kagura.MIAD
-		case "AIAD":
-			kc.Policy = kagura.AIAD
-		case "MIMD":
-			kc.Policy = kagura.MIMD
-		default:
-			fatal(fmt.Errorf("unknown policy %q", *policy))
-		}
-		cfg.Kagura = &kc
+		spec.Policy = *policy
+		spec.Trigger = *trigger
 	}
-	cfg.DecayInterval = *decay
-	cfg.Prefetch = *prefetch
-	if *cycleCSV != "" {
-		cfg.CollectCycleLog = true
+	if *appFile != "" {
+		blob, err := os.ReadFile(*appFile)
+		fatal(err)
+		spec.App = ""
+		spec.Workload = json.RawMessage(blob)
 	}
 
+	spec, err := spec.Normalize()
+	fatal(err)
+	cfg, err := spec.Config()
+	fatal(err)
 	res, err := kagura.Run(cfg)
 	fatal(err)
-	report(cfg, res)
-	if *cycleCSV != "" {
-		fatal(writeCycleLog(*cycleCSV, res))
-		fmt.Printf("cycle log:        %s (%d power cycles)\n", *cycleCSV, len(res.Cycles))
+
+	var baseline *kagura.Result
+	if *compare {
+		baseCfg := kagura.DefaultConfig(cfg.App, cfg.Trace)
+		baseCfg.Design = cfg.Design
+		baseline, err = kagura.Run(baseCfg)
+		fatal(err)
 	}
 
-	if *compare {
-		baseCfg := kagura.DefaultConfig(app, trace)
-		baseCfg.Design = cfg.Design
-		base, err := kagura.Run(baseCfg)
+	if *jsonOut {
+		key, err := spec.Key()
 		fatal(err)
-		fmt.Printf("\nvs compressor-free baseline:\n")
-		fmt.Printf("  speedup:          %+.2f%%\n", 100*res.Speedup(base))
-		fmt.Printf("  energy reduction: %+.2f%%\n", 100*res.EnergyReduction(base))
+		out := kagura.NewRunResult(&spec, key, false, res)
+		if baseline != nil {
+			out.VsBaseline = &kagura.RunComparison{
+				Speedup:         res.Speedup(baseline),
+				EnergyReduction: res.EnergyReduction(baseline),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(out))
+	} else {
+		report(cfg, res)
+		if baseline != nil {
+			fmt.Printf("\nvs compressor-free baseline:\n")
+			fmt.Printf("  speedup:          %+.2f%%\n", 100*res.Speedup(baseline))
+			fmt.Printf("  energy reduction: %+.2f%%\n", 100*res.EnergyReduction(baseline))
+		}
+	}
+
+	if *cycleCSV != "" {
+		fatal(writeCycleLog(*cycleCSV, res))
+		if !*jsonOut {
+			fmt.Printf("cycle log:        %s (%d power cycles)\n", *cycleCSV, len(res.Cycles))
+		}
 	}
 }
 

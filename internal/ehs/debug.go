@@ -1,12 +1,20 @@
 package ehs
 
-import "kagura/internal/kagura"
+import (
+	"context"
+
+	"kagura/internal/kagura"
+)
 
 // NewDebug exposes the simulator for calibration tooling.
 func NewDebug(cfg Config) (*Simulator, error) { return New(cfg) }
 
-// Run executes the simulation (exported for calibration tooling).
-func (s *Simulator) Run() *Result { return s.run() }
+// Run executes the simulation (exported for calibration tooling). A
+// background context cannot cancel, so the error is always nil.
+func (s *Simulator) Run() *Result {
+	res, _ := s.run(context.Background())
+	return res
+}
 
 // Kagura returns the controller (nil when disabled).
 func (s *Simulator) Kagura() *kagura.Controller { return s.kag }

@@ -14,6 +14,7 @@
 package ehs
 
 import (
+	"context"
 	"fmt"
 
 	"kagura/internal/acc"
@@ -115,17 +116,46 @@ func New(cfg Config) (*Simulator, error) {
 // Run executes the configured program to completion (or the safety cutoff)
 // and returns the result.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxCheckInstrs bounds how many instructions execute between cancellation
+// checks. The check is a non-blocking select, so the steady-state cost is one
+// branch per instruction plus one select per 4096 — unmeasurable against the
+// work a step does.
+const ctxCheckInstrs = 4096
+
+// RunContext executes the configured program to completion (or the safety
+// cutoff), honoring ctx cancellation. Cancellation is observed at every
+// power-cycle boundary and at least every ctxCheckInstrs committed
+// instructions; a canceled run returns ctx's error and no result.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(), nil
+	return s.run(ctx)
 }
 
-func (s *Simulator) run() *Result {
+func (s *Simulator) run(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	total := s.cfg.App.Len()
+	var sinceCheck int64
 	for s.pos < total && s.time < s.maxCycles {
+		cyclesBefore := s.res.PowerCycles
 		s.step()
+		if done == nil {
+			continue
+		}
+		sinceCheck++
+		if sinceCheck >= ctxCheckInstrs || s.res.PowerCycles != cyclesBefore {
+			sinceCheck = 0
+			select {
+			case <-done:
+				return nil, fmt.Errorf("ehs: run %s aborted: %w", s.cfg.App.Name, ctx.Err())
+			default:
+			}
+		}
 	}
 	s.res.Completed = s.pos >= total
 	s.res.ExecSeconds = float64(s.time) * CyclePeriod
@@ -144,7 +174,7 @@ func (s *Simulator) run() *Result {
 	if s.cfg.CollectCycleLog && s.curCommitted > 0 {
 		s.recordCycle()
 	}
-	return &s.res
+	return &s.res, nil
 }
 
 // spend drains consumed energy from the buffer and books it to a category.

@@ -1,6 +1,7 @@
 package ehs
 
 import (
+	"context"
 	"testing"
 
 	"kagura/internal/compress"
@@ -185,7 +186,7 @@ func TestDataFidelityAcrossOutages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sim.run()
+	res, _ := sim.run(context.Background())
 	if !res.Completed {
 		t.Fatal("run did not complete")
 	}
@@ -442,7 +443,7 @@ func TestEnergyConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	initial := sim.cap.Energy()
-	res := sim.run()
+	res, _ := sim.run(context.Background())
 	drained := res.Energy.Total() - res.CapacitorLeakJoules
 	lhs := initial + sim.cap.Harvested()
 	rhs := drained + sim.cap.Leaked() + sim.cap.Energy()
@@ -460,7 +461,7 @@ func TestFetchBufferSavesDecompressions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sim.run()
+	res, _ := sim.run(context.Background())
 	if res.ICache.HitsCompressed == 0 {
 		t.Skip("no compressed ICache hits in this configuration")
 	}
@@ -490,5 +491,29 @@ func TestPrefetchPausedInRM(t *testing.T) {
 	if res.Prefetches >= free.Prefetches {
 		t.Fatalf("RM-pinned run prefetched %d, unconstrained %d; prefetcher not intermittence-aware",
 			res.Prefetches, free.Prefetches)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := testConfig(t, "jpeg")
+
+	// A pre-canceled context aborts before any meaningful progress.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg); err == nil {
+		t.Fatal("RunContext with canceled context should fail")
+	}
+
+	// A background context runs to the same result as Run.
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecSeconds != ref.ExecSeconds || res.Committed != ref.Committed {
+		t.Fatalf("RunContext diverged from Run: %+v vs %+v", res, ref)
 	}
 }

@@ -13,8 +13,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -23,6 +23,7 @@ import (
 	"kagura/internal/ehs"
 	"kagura/internal/kagura"
 	"kagura/internal/powertrace"
+	"kagura/internal/simsvc"
 	"kagura/internal/workload"
 )
 
@@ -156,31 +157,82 @@ type Renderable interface {
 	Render() Table
 }
 
-// Lab runs experiments with memoized simulation results.
+// Lab runs experiments as a client of the simulation service: every run is
+// submitted through simsvc, which schedules it on a bounded worker pool and
+// memoizes the result by canonical configuration hash. Experiments that share
+// configurations (Figs 13/15/16/18 all need baseline/ACC/Kagura runs) reuse
+// each other's results, and identical in-flight runs coalesce instead of
+// computing twice.
 type Lab struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[runKey]*ehs.Result
-	apps  map[string]*workload.App
+	opts    Options
+	svc     *simsvc.Service
+	ownsSvc bool
+
+	mu   sync.Mutex
+	ctx  context.Context // active RunContext context (nil ⇒ Background)
+	apps map[string]*workload.App
 }
 
-// New creates a Lab.
-func New(opts Options) *Lab {
-	return &Lab{
-		opts:  opts,
-		cache: make(map[runKey]*ehs.Result),
-		apps:  make(map[string]*workload.App),
+// New creates a Lab backed by its own simulation service.
+func New(opts Options) *Lab { return NewWithService(nil, opts) }
+
+// NewWithService creates a Lab sharing an existing service's worker pool and
+// result cache (nil ⇒ a private service). A shared service is not closed by
+// the lab's Close.
+func NewWithService(svc *simsvc.Service, opts Options) *Lab {
+	l := &Lab{
+		opts: opts,
+		svc:  svc,
+		apps: make(map[string]*workload.App),
+	}
+	if l.svc == nil {
+		sopts := simsvc.DefaultOptions()
+		// Full-fidelity sweeps fan out thousands of runs before draining.
+		sopts.QueueDepth = 16384
+		l.svc = simsvc.New(sopts)
+		l.ownsSvc = true
+	}
+	return l
+}
+
+// Close releases the lab's private service (no-op for shared services).
+func (l *Lab) Close() {
+	if l.ownsSvc {
+		l.svc.Close()
 	}
 }
 
 // Options returns the lab's options.
 func (l *Lab) Options() Options { return l.opts }
 
-type runKey struct {
-	app   string
-	cfgID string
-	seed  uint64
-	trace string
+// Service returns the backing simulation service.
+func (l *Lab) Service() *simsvc.Service { return l.svc }
+
+// RunContext executes one experiment by id under ctx: cancellation aborts
+// in-flight simulations at their next check and fails the experiment.
+// Concurrent RunContext calls with different contexts are not supported (the
+// context applies lab-wide while the call runs).
+func (l *Lab) RunContext(ctx context.Context, id string) (Renderable, error) {
+	l.mu.Lock()
+	prev := l.ctx
+	l.ctx = ctx
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.ctx = prev
+		l.mu.Unlock()
+	}()
+	return l.Run(id)
+}
+
+// context returns the lab's active context.
+func (l *Lab) context() context.Context {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ctx != nil {
+		return l.ctx
+	}
+	return context.Background()
 }
 
 // app returns the (cached) workload instance.
@@ -201,16 +253,11 @@ func (l *Lab) app(name string) (*workload.App, error) {
 // configFn derives a concrete config from the default for (app, trace).
 type configFn func(base ehs.Config) (ehs.Config, error)
 
-// result runs (or recalls) one simulation.
+// result runs (or recalls) one simulation through the service, keyed by the
+// canonical hash of the fully materialized configuration — runs that build
+// identical configs share one execution regardless of which experiment (or
+// which service client) asked first.
 func (l *Lab) result(appName, traceName string, seed uint64, cfgID string, fn configFn) (*ehs.Result, error) {
-	key := runKey{app: appName, cfgID: cfgID, seed: seed, trace: traceName}
-	l.mu.Lock()
-	if r, ok := l.cache[key]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
 	app, err := l.app(appName)
 	if err != nil {
 		return nil, err
@@ -223,16 +270,15 @@ func (l *Lab) result(appName, traceName string, seed uint64, cfgID string, fn co
 	if err != nil {
 		return nil, err
 	}
-	res, err := ehs.Run(cfg)
+	res, _, err := l.svc.Do(l.context(), simsvc.ConfigKey(cfg), func(ctx context.Context) (*ehs.Result, error) {
+		return ehs.RunContext(ctx, cfg)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s seed %d: %w", appName, cfgID, seed, err)
 	}
 	if !res.Completed {
 		return nil, fmt.Errorf("experiments: %s/%s seed %d did not complete", appName, cfgID, seed)
 	}
-	l.mu.Lock()
-	l.cache[key] = res
-	l.mu.Unlock()
 	return res, nil
 }
 
@@ -250,16 +296,10 @@ func cfgKagura(c ehs.Config) (ehs.Config, error) {
 
 // idealResult runs the two-phase oracle (record with plain ACC, then replay
 // compressions that proved useful) — Fig 13's ideal intermittence-aware
-// compressor.
+// compressor. Both phases are one composite service job: the key derives
+// from the oracle-free record configuration, so identical ideal runs
+// memoize and coalesce like plain runs.
 func (l *Lab) idealResult(appName, traceName string, seed uint64) (*ehs.Result, error) {
-	key := runKey{app: appName, cfgID: "ideal", seed: seed, trace: traceName}
-	l.mu.Lock()
-	if r, ok := l.cache[key]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
 	app, err := l.app(appName)
 	if err != nil {
 		return nil, err
@@ -268,55 +308,48 @@ func (l *Lab) idealResult(appName, traceName string, seed uint64) (*ehs.Result, 
 	if err != nil {
 		return nil, err
 	}
-	oracle := ehs.NewOracle()
 	// The paper records the trace on an ACC+Kagura run (§VIII-C).
 	record := ehs.Default(app, trace).WithACC(compress.BDI{}).WithKagura(kagura.DefaultConfig())
-	record.Oracle = oracle
-	if _, err := ehs.Run(record); err != nil {
-		return nil, err
-	}
-	replay := ehs.Default(app, trace).WithACC(compress.BDI{})
-	replay.Oracle = oracle.Replay()
-	res, err := ehs.Run(replay)
-	if err != nil {
-		return nil, err
-	}
-	l.mu.Lock()
-	l.cache[key] = res
-	l.mu.Unlock()
-	return res, nil
+	key := "ideal:" + simsvc.ConfigKey(record)
+	res, _, err := l.svc.Do(l.context(), key, func(ctx context.Context) (*ehs.Result, error) {
+		oracle := ehs.NewOracle()
+		record := record
+		record.Oracle = oracle
+		if _, err := ehs.RunContext(ctx, record); err != nil {
+			return nil, err
+		}
+		replay := ehs.Default(app, trace).WithACC(compress.BDI{})
+		replay.Oracle = oracle.Replay()
+		return ehs.RunContext(ctx, replay)
+	})
+	return res, err
 }
 
-// warm executes jobs concurrently, bounded by the host's parallelism, and
-// returns the first error. Jobs populate the memoized result cache, so
+// warm fans jobs out to the service (whose worker pool bounds parallelism)
+// and returns the first error. Jobs populate the memoized result cache, so
 // experiments can fan out their simulations and then aggregate sequentially
-// from cache hits. Duplicate in-flight computations of the same key are
-// benign: runs are deterministic and the second write is identical.
+// from cache hits. Identical in-flight submissions coalesce in the service,
+// and canceling the lab's context aborts the whole fan-out: queued jobs fail
+// fast and running simulations stop at their next cancellation check.
 func (l *Lab) warm(jobs []func() error) error {
 	if len(jobs) == 0 {
 		return nil
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	if err := l.context().Err(); err != nil {
+		return err
+	}
 	errs := make(chan error, len(jobs))
-	var wg sync.WaitGroup
 	for _, job := range jobs {
 		job := job
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs <- job()
-		}()
+		go func() { errs <- job() }()
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
+	var first error
+	for range jobs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 // avgSpeedup averages the speedup of variant over base across the lab's

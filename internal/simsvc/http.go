@@ -1,0 +1,159 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"kagura/internal/compress"
+	"kagura/internal/ehs"
+	"kagura/internal/powertrace"
+	"kagura/internal/workload"
+)
+
+// NewHandler returns the service's HTTP API:
+//
+//	POST   /v1/run        run one spec; blocks until done, returns RunResult.
+//	                      ?async=1 returns 202 + JobStatus immediately.
+//	POST   /v1/batch      {"jobs":[spec...]}; returns 202 + per-job statuses.
+//	GET    /v1/jobs       list retained jobs, newest first.
+//	GET    /v1/jobs/{id}  one job's status (result inlined when done).
+//	DELETE /v1/jobs/{id}  cancel a queued or running job.
+//	GET    /v1/workloads  workload / trace / codec / design / policy catalog.
+//	GET    /healthz       liveness.
+//	GET    /metrics       Prometheus text exposition.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(svc.Metrics().Prometheus()))
+	})
+
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workloads": workload.Names(),
+			"traces":    powertrace.Names(),
+			"codecs":    compress.Names(),
+			"designs": []string{
+				ehs.NVSRAMCache.String(), ehs.NvMR.String(), ehs.SweepCache.String(),
+			},
+			"policies": []string{"AIMD", "MIAD", "AIAD", "MIMD"},
+			"triggers": []string{"mem", "voltage"},
+		})
+	})
+
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var spec RunSpec
+		if !decodeJSON(w, r, &spec) {
+			return
+		}
+		if r.URL.Query().Get("async") != "" {
+			job, err := svc.Submit(spec)
+			if err != nil {
+				writeError(w, submitStatus(err), err)
+				return
+			}
+			st, _ := svc.Job(job.ID())
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		res, err := svc.Run(r.Context(), spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Jobs []RunSpec `json:"jobs"`
+		}
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+		if len(body.Jobs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("simsvc: batch needs a non-empty jobs array"))
+			return
+		}
+		jobs, err := svc.SubmitBatch(body.Jobs)
+		statuses := make([]JobStatus, 0, len(jobs))
+		for _, j := range jobs {
+			st, jerr := svc.Job(j.ID())
+			if jerr == nil {
+				statuses = append(statuses, st)
+			}
+		}
+		if err != nil {
+			writeJSON(w, submitStatus(err), map[string]any{
+				"error":     err.Error(),
+				"submitted": statuses,
+			})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"count": len(statuses),
+			"jobs":  statuses,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": svc.Jobs()})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Cancel(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		st, _ := svc.Job(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	return mux
+}
+
+// submitStatus maps submission errors to HTTP statuses: overload → 503,
+// shutdown → 503, everything else (validation) → 400.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

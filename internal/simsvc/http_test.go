@@ -1,0 +1,284 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Options{Workers: 2})
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPWorkloadCatalog(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := decodeBody[map[string][]string](t, resp)
+	if len(cat["workloads"]) != 20 {
+		t.Fatalf("workloads = %d, want 20", len(cat["workloads"]))
+	}
+	for _, field := range []string{"traces", "codecs", "designs", "policies", "triggers"} {
+		if len(cat[field]) == 0 {
+			t.Errorf("catalog field %q empty", field)
+		}
+	}
+}
+
+func TestHTTPRunEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/run", quickSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	res := decodeBody[RunResult](t, resp)
+	if !res.Completed || res.Committed == 0 || res.Energy.Total <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Key == "" || res.Spec == nil {
+		t.Fatal("result must echo key and spec")
+	}
+
+	// Identical second request is a cache hit with identical numbers.
+	resp2 := postJSON(t, srv.URL+"/v1/run", quickSpec())
+	res2 := decodeBody[RunResult](t, resp2)
+	if !res2.Cached {
+		t.Fatal("second run not cached")
+	}
+	if res2.ExecSeconds != res.ExecSeconds {
+		t.Fatal("cached result diverged")
+	}
+}
+
+func TestHTTPRunValidationError(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/run", RunSpec{App: "not-a-workload"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	body := decodeBody[map[string]string](t, resp)
+	if body["error"] == "" {
+		t.Fatal("error body missing")
+	}
+}
+
+func TestHTTPAsyncRunAndJobPolling(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/run?async=1", quickSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async run: %d, want 202", resp.StatusCode)
+	}
+	st := decodeBody[JobStatus](t, resp)
+	if st.ID == "" {
+		t.Fatal("async run returned no job id")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = decodeBody[JobStatus](t, resp)
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed || st.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Result == nil || !st.Result.Completed {
+		t.Fatalf("done job carries no result: %+v", st)
+	}
+}
+
+func TestHTTPBatchEndpoint(t *testing.T) {
+	svc, srv := newTestServer(t)
+	const n = 6
+	batch := map[string]any{"jobs": make([]RunSpec, n)}
+	for i := range batch["jobs"].([]RunSpec) {
+		batch["jobs"].([]RunSpec)[i] = quickSpec()
+	}
+	resp := postJSON(t, srv.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: %d, want 202", resp.StatusCode)
+	}
+	out := decodeBody[struct {
+		Count int         `json:"count"`
+		Jobs  []JobStatus `json:"jobs"`
+	}](t, resp)
+	if out.Count != n || len(out.Jobs) != n {
+		t.Fatalf("batch accepted %d/%d jobs", out.Count, len(out.Jobs))
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Metrics().JobsRun+svc.Metrics().JobsCached < n {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m := svc.Metrics(); m.JobsRun != 1 || m.JobsCached != n-1 {
+		t.Fatalf("batch dedup: run=%d cached=%d, want 1/%d", m.JobsRun, m.JobsCached, n-1)
+	}
+}
+
+func TestHTTPBatchRejectsEmpty(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/batch", map[string]any{"jobs": []RunSpec{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, srv := newTestServer(t)
+	// Generate one run and one cache hit first.
+	postJSON(t, srv.URL+"/v1/run", quickSpec()).Body.Close()
+	postJSON(t, srv.URL+"/v1/run", quickSpec()).Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		`kagura_jobs_total{status="run"} 1`,
+		`kagura_jobs_total{status="cached"} 1`,
+		`kagura_jobs_total{status="failed"} 0`,
+		"kagura_queue_depth 0",
+		"kagura_cached_keys 1",
+		`kagura_stage_samples_total{stage="run"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPCancelJob(t *testing.T) {
+	_, srv := newTestServer(t)
+	// A long job we can cancel before it finishes.
+	long := RunSpec{App: "jpeg", Scale: 1.0}
+	resp := postJSON(t, srv.URL+"/v1/run?async=1", long)
+	st := decodeBody[JobStatus](t, resp)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = decodeBody[JobStatus](t, resp)
+		if st.State == StateCanceled {
+			break
+		}
+		if st.State == StateDone {
+			t.Skip("job finished before the cancel landed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never canceled: %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPUnknownJob(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPInlineWorkload(t *testing.T) {
+	_, srv := newTestServer(t)
+	inline := fmt.Sprintf(`{
+		"workload": {
+			"name": "svc-probe",
+			"seed": 7,
+			"regions": [{"base": 268435456, "sizeWords": 64, "class": "narrow"}],
+			"phases": [{"iterations": 500, "codeBase": 65536,
+			            "body": ["arith", "load hot 0", "store seq 0"]}]
+		},
+		"codec": "BDI", "acc": true
+	}`)
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(inline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decodeBody[RunResult](t, resp)
+	if !res.Completed || res.Committed != 1500 {
+		t.Fatalf("inline workload run wrong: %+v", res)
+	}
+}

@@ -1,0 +1,108 @@
+package simsvc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// metrics holds the service counters; guarded by Service.mu.
+type metrics struct {
+	jobsRun      int64 // simulations actually executed
+	jobsCached   int64 // jobs served from the cache or coalesced in flight
+	jobsFailed   int64
+	jobsCanceled int64
+
+	// Per-stage latency accumulators (nanoseconds).
+	queueNanos int64 // submit → worker pickup
+	queueCount int64
+	runNanos   int64 // worker pickup → successful completion
+	runCount   int64
+}
+
+// MetricsSnapshot is a point-in-time view of the service counters.
+type MetricsSnapshot struct {
+	JobsRun      int64 `json:"jobsRun"`
+	JobsCached   int64 `json:"jobsCached"`
+	JobsFailed   int64 `json:"jobsFailed"`
+	JobsCanceled int64 `json:"jobsCanceled"`
+	QueueDepth   int   `json:"queueDepth"`
+	Workers      int   `json:"workers"`
+	CachedKeys   int   `json:"cachedKeys"`
+
+	// Per-stage latency: total seconds and sample counts.
+	QueueSecondsTotal float64 `json:"queueSecondsTotal"`
+	QueueSamples      int64   `json:"queueSamples"`
+	RunSecondsTotal   float64 `json:"runSecondsTotal"`
+	RunSamples        int64   `json:"runSamples"`
+}
+
+// AvgQueueSeconds returns the mean submit→pickup latency.
+func (m MetricsSnapshot) AvgQueueSeconds() float64 {
+	if m.QueueSamples == 0 {
+		return 0
+	}
+	return m.QueueSecondsTotal / float64(m.QueueSamples)
+}
+
+// AvgRunSeconds returns the mean execution latency of completed runs.
+func (m MetricsSnapshot) AvgRunSeconds() float64 {
+	if m.RunSamples == 0 {
+		return 0
+	}
+	return m.RunSecondsTotal / float64(m.RunSamples)
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := MetricsSnapshot{
+		JobsRun:           s.met.jobsRun,
+		JobsCached:        s.met.jobsCached,
+		JobsFailed:        s.met.jobsFailed,
+		JobsCanceled:      s.met.jobsCanceled,
+		QueueDepth:        len(s.queue),
+		Workers:           s.opts.Workers,
+		QueueSecondsTotal: float64(s.met.queueNanos) / 1e9,
+		QueueSamples:      s.met.queueCount,
+		RunSecondsTotal:   float64(s.met.runNanos) / 1e9,
+		RunSamples:        s.met.runCount,
+	}
+	for _, e := range s.cache {
+		if e.ready {
+			snap.CachedKeys++
+		}
+	}
+	return snap
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format
+// (GET /metrics).
+func (m MetricsSnapshot) Prometheus() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	w("# HELP kagura_jobs_total Jobs by terminal outcome.\n")
+	w("# TYPE kagura_jobs_total counter\n")
+	w("kagura_jobs_total{status=\"run\"} %d\n", m.JobsRun)
+	w("kagura_jobs_total{status=\"cached\"} %d\n", m.JobsCached)
+	w("kagura_jobs_total{status=\"failed\"} %d\n", m.JobsFailed)
+	w("kagura_jobs_total{status=\"canceled\"} %d\n", m.JobsCanceled)
+	w("# HELP kagura_queue_depth Jobs waiting for a worker.\n")
+	w("# TYPE kagura_queue_depth gauge\n")
+	w("kagura_queue_depth %d\n", m.QueueDepth)
+	w("# HELP kagura_workers Size of the worker pool.\n")
+	w("# TYPE kagura_workers gauge\n")
+	w("kagura_workers %d\n", m.Workers)
+	w("# HELP kagura_cached_keys Distinct memoized configurations.\n")
+	w("# TYPE kagura_cached_keys gauge\n")
+	w("kagura_cached_keys %d\n", m.CachedKeys)
+	w("# HELP kagura_stage_seconds_total Cumulative per-stage latency.\n")
+	w("# TYPE kagura_stage_seconds_total counter\n")
+	w("kagura_stage_seconds_total{stage=\"queue\"} %g\n", m.QueueSecondsTotal)
+	w("kagura_stage_seconds_total{stage=\"run\"} %g\n", m.RunSecondsTotal)
+	w("# HELP kagura_stage_samples_total Per-stage latency sample counts.\n")
+	w("# TYPE kagura_stage_samples_total counter\n")
+	w("kagura_stage_samples_total{stage=\"queue\"} %d\n", m.QueueSamples)
+	w("kagura_stage_samples_total{stage=\"run\"} %d\n", m.RunSamples)
+	return b.String()
+}

@@ -1,0 +1,579 @@
+// Package simsvc is the simulation service: a concurrent job scheduler with
+// a content-addressed result cache in front of the ehs simulator.
+//
+// Large evaluation campaigns — the paper's sensitivity sweeps, parameter
+// tuning, API traffic — re-run thousands of near-identical simulations.
+// Because runs are deterministic pure functions of their configuration, any
+// two jobs with the same canonical configuration hash produce byte-identical
+// results, so the service executes each distinct configuration exactly once:
+// completed results are memoized, and identical in-flight submissions are
+// coalesced onto the running job instead of queued again.
+//
+// Architecture:
+//
+//	Submit/SubmitBatch/Do ──► cache lookup ──► hit: finish instantly
+//	                              │
+//	                              ├─► in flight: ride along as a waiter
+//	                              │
+//	                              └─► miss: bounded FIFO queue ──► worker pool
+//	                                                                │
+//	                                            per-job context ────┘
+//	                                        (timeout + cancellation)
+//
+// The same scheduler serves two frontends: the JSON HTTP API (NewHandler,
+// cmd/kagura-serve) via RunSpec jobs, and programmatic clients
+// (experiments.Lab) via Do with a caller-supplied compute function and
+// ConfigKey-derived cache key.
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"kagura/internal/ehs"
+)
+
+// Errors returned by submission.
+var (
+	// ErrClosed reports submission to a closed service.
+	ErrClosed = errors.New("simsvc: service closed")
+	// ErrQueueFull reports that the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("simsvc: queue full")
+	// ErrUnknownJob reports a lookup of a job ID the service doesn't know
+	// (never submitted, or pruned after retention).
+	ErrUnknownJob = errors.New("simsvc: unknown job")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 1024). Submission
+	// beyond it fails with ErrQueueFull — backpressure instead of unbounded
+	// memory.
+	QueueDepth int
+	// DefaultTimeout bounds each job's execution when the spec doesn't set
+	// its own (0 ⇒ no timeout).
+	DefaultTimeout time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable by ID before
+	// the oldest are pruned (default 4096). The result cache is unaffected.
+	RetainJobs int
+}
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options {
+	return Options{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: 1024,
+		RetainJobs: 4096,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 4096
+	}
+	return o
+}
+
+// Job is one scheduled simulation. Fields are guarded by the service mutex
+// until done is closed; after that the result fields are immutable.
+type Job struct {
+	id      string
+	key     string
+	spec    *RunSpec // nil for programmatic (Do) jobs
+	compute func(context.Context) (*ehs.Result, error)
+	timeout time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// Guarded by Service.mu until done closes.
+	state    State
+	cached   bool
+	res      *ehs.Result
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's service-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content-addressed cache key.
+func (j *Job) Key() string { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is canceled. The job keeps
+// running if ctx expires first; its result lands in the cache regardless.
+func (j *Job) Wait(ctx context.Context) (*ehs.Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+		return j.res, j.err
+	}
+}
+
+// JobStatus is a point-in-time wire-level snapshot of a job.
+type JobStatus struct {
+	ID           string     `json:"id"`
+	Key          string     `json:"key"`
+	State        State      `json:"state"`
+	Cached       bool       `json:"cached,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	CreatedAt    time.Time  `json:"createdAt"`
+	QueueSeconds float64    `json:"queueSeconds"`
+	RunSeconds   float64    `json:"runSeconds"`
+	Spec         *RunSpec   `json:"spec,omitempty"`
+	Result       *RunResult `json:"result,omitempty"`
+}
+
+// entry is one cache slot: a completed result, or an in-flight owner with
+// coalesced waiters.
+type entry struct {
+	owner   *Job
+	waiters []*Job
+	ready   bool
+	res     *ehs.Result
+}
+
+// Service schedules simulation jobs on a bounded worker pool with a
+// content-addressed result cache. Create with New, dispose with Close.
+type Service struct {
+	opts    Options
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	cache    map[string]*entry
+	jobs     map[string]*Job
+	finished []string // FIFO of terminal job IDs, for retention pruning
+	seq      uint64
+	met      metrics
+}
+
+// New creates a Service and starts its worker pool.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:    opts,
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *Job, opts.QueueDepth),
+		cache:   make(map[string]*entry),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Options returns the service's effective options.
+func (s *Service) Options() Options { return s.opts }
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to exit. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.stop() // cancels every job context derived from baseCtx
+	s.wg.Wait()
+
+	// Fail whatever is still sitting in the queue so waiters unblock.
+	for {
+		select {
+		case job := <-s.queue:
+			s.finishJob(job, nil, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// Submit schedules one spec-described run and returns immediately. Identical
+// specs (same content key) coalesce: only the first executes, the rest finish
+// as cache hits.
+func (s *Service) Submit(spec RunSpec) (*Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	key, err := norm.Key()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := norm.Config()
+	if err != nil {
+		return nil, err
+	}
+	timeout := s.opts.DefaultTimeout
+	if norm.TimeoutSeconds > 0 {
+		timeout = time.Duration(norm.TimeoutSeconds * float64(time.Second))
+	}
+	compute := func(ctx context.Context) (*ehs.Result, error) {
+		return ehs.RunContext(ctx, cfg)
+	}
+	return s.submit(&norm, key, compute, timeout)
+}
+
+// SubmitBatch schedules many runs, stopping at the first invalid spec. Jobs
+// already submitted keep running; their results stay cached for a retry.
+func (s *Service) SubmitBatch(specs []RunSpec) ([]*Job, error) {
+	jobs := make([]*Job, 0, len(specs))
+	for i, spec := range specs {
+		job, err := s.Submit(spec)
+		if err != nil {
+			return jobs, fmt.Errorf("simsvc: batch[%d]: %w", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// Do schedules compute under a caller-chosen content key and blocks for the
+// result: the programmatic entry point (experiments.Lab). The returned bool
+// reports whether the result came from the cache (including coalescing onto
+// an identical in-flight job). Canceling ctx abandons the wait AND cancels
+// the job if this call owns it.
+func (s *Service) Do(ctx context.Context, key string, compute func(context.Context) (*ehs.Result, error)) (*ehs.Result, bool, error) {
+	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	// Propagate caller cancellation into the job (no-op once it finished).
+	stop := context.AfterFunc(ctx, job.cancel)
+	defer stop()
+	res, err := job.Wait(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	cached := job.cached
+	s.mu.Unlock()
+	return res, cached, nil
+}
+
+// Run schedules one spec and blocks for its result — the synchronous HTTP
+// path (POST /v1/run).
+func (s *Service) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	job, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// Abandoned synchronous requests only cancel jobs nobody else is
+		// waiting on; coalesced jobs keep running for their other waiters.
+		s.mu.Lock()
+		e := s.cache[job.key]
+		alone := e == nil || (e.owner == job && len(e.waiters) == 0)
+		s.mu.Unlock()
+		if alone {
+			job.cancel()
+		}
+	})
+	defer stop()
+	res, err := job.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	cached := job.cached
+	s.mu.Unlock()
+	return NewRunResult(job.spec, job.key, cached, res), nil
+}
+
+// Job returns a job's status snapshot by ID.
+func (s *Service) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return s.statusLocked(job), nil
+}
+
+// Jobs returns snapshots of every retained job, newest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		out = append(out, s.statusLocked(job))
+	}
+	// Newest first by ID (IDs are zero-padded sequence numbers).
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Cancel cancels a job by ID. Queued jobs fail immediately; running jobs
+// observe their context at the simulator's next cancellation check.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	queued := ok && job.state == StateQueued
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	job.cancel()
+	if queued {
+		s.finishJob(job, nil, context.Canceled)
+	}
+	return nil
+}
+
+// statusLocked builds a snapshot; callers hold s.mu.
+func (s *Service) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:        job.id,
+		Key:       job.key,
+		State:     job.state,
+		Cached:    job.cached,
+		CreatedAt: job.created,
+		Spec:      job.spec,
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	switch {
+	case job.state == StateQueued:
+		st.QueueSeconds = time.Since(job.created).Seconds()
+	case !job.started.IsZero():
+		st.QueueSeconds = job.started.Sub(job.created).Seconds()
+	case !job.finished.IsZero(): // finished without running (cache hit)
+		st.QueueSeconds = job.finished.Sub(job.created).Seconds()
+	}
+	if !job.started.IsZero() {
+		end := job.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunSeconds = end.Sub(job.started).Seconds()
+	}
+	if job.state == StateDone && job.res != nil {
+		st.Result = NewRunResult(job.spec, job.key, job.cached, job.res)
+	}
+	return st
+}
+
+// submit registers a job and routes it: instant cache hit, coalesce onto an
+// in-flight twin, or enqueue for a worker.
+func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.seq++
+	job := &Job{
+		id:      fmt.Sprintf("job-%08d", s.seq),
+		key:     key,
+		spec:    spec,
+		compute: compute,
+		timeout: timeout,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+	s.jobs[job.id] = job
+
+	e := s.cache[key]
+	switch {
+	case e != nil && e.ready:
+		job.state = StateDone
+		job.cached = true
+		job.res = e.res
+		job.finished = job.created
+		s.met.jobsCached++
+		close(job.done)
+		job.cancel()
+		s.retainLocked(job)
+	case e != nil:
+		e.waiters = append(e.waiters, job)
+	default:
+		select {
+		case s.queue <- job:
+			s.cache[key] = &entry{owner: job}
+		default:
+			delete(s.jobs, job.id)
+			job.cancel()
+			return nil, ErrQueueFull
+		}
+	}
+	return job, nil
+}
+
+// worker consumes the queue until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one owned job and resolves its cache entry.
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state != StateQueued { // canceled while waiting for a worker
+		s.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	s.met.queueNanos += job.started.Sub(job.created).Nanoseconds()
+	s.met.queueCount++
+	s.mu.Unlock()
+
+	ctx := job.ctx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	res, err := safeCompute(ctx, job.compute)
+	s.finishJob(job, res, err)
+}
+
+// safeCompute shields the worker pool from panicking compute functions.
+func safeCompute(ctx context.Context, compute func(context.Context) (*ehs.Result, error)) (res *ehs.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("simsvc: job panicked: %v", r)
+		}
+	}()
+	return compute(ctx)
+}
+
+// finishJob moves an owned job to a terminal state, publishes (or clears) the
+// cache entry, and resolves coalesced waiters.
+func (s *Service) finishJob(job *Job, res *ehs.Result, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job.state == StateDone || job.state == StateFailed || job.state == StateCanceled {
+		return
+	}
+
+	terminal := func(j *Job, res *ehs.Result, err error, cached bool) {
+		j.res, j.err, j.cached, j.finished = res, err, cached, now
+		switch {
+		case err == nil:
+			j.state = StateDone
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCanceled
+		default:
+			j.state = StateFailed
+		}
+		close(j.done)
+		j.cancel()
+		s.retainLocked(j)
+	}
+
+	// Book the owner's outcome.
+	switch {
+	case err == nil:
+		s.met.jobsRun++
+		if !job.started.IsZero() {
+			s.met.runNanos += now.Sub(job.started).Nanoseconds()
+			s.met.runCount++
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.met.jobsCanceled++
+	default:
+		s.met.jobsFailed++
+	}
+
+	// Resolve the cache entry this job owns. Success publishes the result;
+	// failure clears the slot so a retry can recompute. Coalesced waiters
+	// inherit the owner's outcome, successes counting as cache hits.
+	if e := s.cache[job.key]; e != nil && e.owner == job {
+		waiters := e.waiters
+		if err == nil {
+			e.ready, e.res, e.owner, e.waiters = true, res, nil, nil
+		} else {
+			delete(s.cache, job.key)
+		}
+		for _, w := range waiters {
+			switch {
+			case err == nil:
+				s.met.jobsCached++
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				s.met.jobsCanceled++
+			default:
+				s.met.jobsFailed++
+			}
+			terminal(w, res, err, err == nil)
+		}
+	}
+	terminal(job, res, err, false)
+}
+
+// retainLocked records a terminal job and prunes beyond the retention bound.
+func (s *Service) retainLocked(job *Job) {
+	s.finished = append(s.finished, job.id)
+	for len(s.finished) > s.opts.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// CacheLen returns the number of memoized results.
+func (s *Service) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.cache {
+		if e.ready {
+			n++
+		}
+	}
+	return n
+}

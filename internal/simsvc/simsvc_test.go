@@ -1,0 +1,452 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kagura/internal/ehs"
+)
+
+// quickSpec is a small, fast run (~2k instructions).
+func quickSpec() RunSpec {
+	return RunSpec{App: "jpeg", Scale: 0.004, Codec: "BDI", ACC: true, Kagura: true}
+}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	svc := New(opts)
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	base := quickSpec()
+	k1, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spelling variants of the same configuration hash identically.
+	variant := base
+	variant.Trace = "rfhome"
+	variant.Seed = 1 // explicit default
+	variant.Codec = "bdi"
+	variant.Design = "nvsramcache"
+	variant.Policy = "aimd"
+	variant.Trigger = "memory"
+	k2, err := variant.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("canonical variants hash differently:\n%s\n%s", k1, k2)
+	}
+
+	// Execution-control fields don't change identity.
+	timed := base
+	timed.TimeoutSeconds = 30
+	if k3, _ := timed.Key(); k3 != k1 {
+		t.Fatal("TimeoutSeconds changed the cache key")
+	}
+
+	// Any behavioral difference does.
+	for name, mutate := range map[string]func(*RunSpec){
+		"app":    func(s *RunSpec) { s.App = "gsm" },
+		"seed":   func(s *RunSpec) { s.Seed = 2 },
+		"scale":  func(s *RunSpec) { s.Scale = 0.008 },
+		"codec":  func(s *RunSpec) { s.Codec = "FPC" },
+		"acc":    func(s *RunSpec) { s.ACC = false },
+		"kagura": func(s *RunSpec) { s.Kagura = false; s.Policy = ""; s.Trigger = "" },
+		"design": func(s *RunSpec) { s.Design = "NvMR" },
+		"trace":  func(s *RunSpec) { s.Trace = "Solar" },
+		"decay":  func(s *RunSpec) { s.DecayInterval = 600 },
+		"log":    func(s *RunSpec) { s.CycleLog = true },
+	} {
+		m := base
+		mutate(&m)
+		k, err := m.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := map[string]RunSpec{
+		"empty":            {},
+		"both app+inline":  {App: "jpeg", Workload: []byte(`{}`)},
+		"unknown app":      {App: "nope"},
+		"unknown trace":    {App: "jpeg", Trace: "wind"},
+		"unknown codec":    {App: "jpeg", Codec: "LZ77"},
+		"acc sans codec":   {App: "jpeg", ACC: true},
+		"unknown design":   {App: "jpeg", Design: "RAMCloud"},
+		"unknown policy":   {App: "jpeg", Kagura: true, Policy: "PID"},
+		"unknown trigger":  {App: "jpeg", Kagura: true, Trigger: "thermal"},
+		"policy no kagura": {App: "jpeg", Policy: "AIMD"},
+		"negative scale":   {App: "jpeg", Scale: -1},
+		"negative decay":   {App: "jpeg", DecayInterval: -5},
+		"bad workload":     {Workload: []byte(`{"name":`)},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Normalize(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestConfigKeyMatchesAcrossConstructions(t *testing.T) {
+	cfgA, err := quickSpec().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, err := quickSpec().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ConfigKey(cfgA) != ConfigKey(cfgB) {
+		t.Fatal("identical configs produced different keys")
+	}
+	cfgB.Prefetch = true
+	if ConfigKey(cfgA) == ConfigKey(cfgB) {
+		t.Fatal("differing configs produced the same key")
+	}
+}
+
+func TestRunAndCache(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	res, err := svc.Run(ctx, quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Cached {
+		t.Fatalf("first run should execute and complete: %+v", res)
+	}
+	again, err := svc.Run(ctx, quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("second identical run was not served from cache")
+	}
+	if again.ExecSeconds != res.ExecSeconds || again.Committed != res.Committed {
+		t.Fatal("cached result diverged")
+	}
+	m := svc.Metrics()
+	if m.JobsRun != 1 || m.JobsCached != 1 {
+		t.Fatalf("metrics: run=%d cached=%d, want 1/1", m.JobsRun, m.JobsCached)
+	}
+}
+
+// TestBatchDeduplication is the acceptance criterion: N identical jobs
+// execute the simulation exactly once, with N−1 cache hits.
+func TestBatchDeduplication(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 4})
+	const n = 16
+	specs := make([]RunSpec, n)
+	for i := range specs {
+		specs[i] = quickSpec()
+	}
+	jobs, err := svc.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != n {
+		t.Fatalf("submitted %d jobs, want %d", len(jobs), n)
+	}
+	var ref *ehs.Result
+	for i, job := range jobs {
+		res, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if ref == nil {
+			ref = res
+		} else if res != ref {
+			t.Fatalf("job %d got a distinct result object; simulation ran more than once", i)
+		}
+	}
+	m := svc.Metrics()
+	if m.JobsRun != 1 {
+		t.Fatalf("jobs run = %d, want exactly 1", m.JobsRun)
+	}
+	if m.JobsCached != n-1 {
+		t.Fatalf("cache hits = %d, want %d", m.JobsCached, n-1)
+	}
+}
+
+// TestConcurrentSubmitters hammers the same spec from many goroutines (run
+// with -race): still exactly one execution.
+func TestConcurrentSubmitters(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 4})
+	const submitters = 32
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := svc.Run(context.Background(), quickSpec())
+			if err != nil || !res.Completed {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d submitters failed", failures.Load())
+	}
+	m := svc.Metrics()
+	if m.JobsRun != 1 {
+		t.Fatalf("jobs run = %d, want exactly 1", m.JobsRun)
+	}
+	if m.JobsCached != submitters-1 {
+		t.Fatalf("cache hits = %d, want %d", m.JobsCached, submitters-1)
+	}
+}
+
+// TestConcurrentDistinctSpecs exercises the pool with a mixed workload (run
+// with -race).
+func TestConcurrentDistinctSpecs(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 4})
+	apps := []string{"jpeg", "gsm", "susan", "crc"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(apps)*4)
+	for rep := 0; rep < 4; rep++ {
+		for _, app := range apps {
+			wg.Add(1)
+			go func(app string) {
+				defer wg.Done()
+				spec := RunSpec{App: app, Scale: 0.004}
+				if _, err := svc.Run(context.Background(), spec); err != nil {
+					errs <- err
+				}
+			}(app)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.JobsRun != int64(len(apps)) {
+		t.Fatalf("jobs run = %d, want %d distinct", m.JobsRun, len(apps))
+	}
+	if m.JobsCached != int64(len(apps)*3) {
+		t.Fatalf("cache hits = %d, want %d", m.JobsCached, len(apps)*3)
+	}
+}
+
+func TestDoProgrammaticJobs(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 2})
+	var executions atomic.Int64
+	compute := func(ctx context.Context) (*ehs.Result, error) {
+		executions.Add(1)
+		cfg, err := quickSpec().Config()
+		if err != nil {
+			return nil, err
+		}
+		return ehs.RunContext(ctx, cfg)
+	}
+	res1, hit1, err := svc.Do(context.Background(), "prog-key", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, hit2, err := svc.Do(context.Background(), "prog-key", compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags wrong: first=%t second=%t", hit1, hit2)
+	}
+	if res1 != res2 {
+		t.Fatal("cached Do returned a different result object")
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", executions.Load())
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := svc.Do(ctx, "cancel-key", func(jctx context.Context) (*ehs.Result, error) {
+		close(started)
+		<-jctx.Done() // the caller's cancel must propagate into the job ctx
+		return nil, jctx.Err()
+	})
+	if err == nil {
+		t.Fatal("canceled Do returned no error")
+	}
+}
+
+func TestFailedJobsAreNotCached(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	var attempts atomic.Int64
+	failing := func(ctx context.Context) (*ehs.Result, error) {
+		attempts.Add(1)
+		return nil, errors.New("boom")
+	}
+	if _, _, err := svc.Do(context.Background(), "flaky", failing); err == nil {
+		t.Fatal("expected failure")
+	}
+	if _, _, err := svc.Do(context.Background(), "flaky", failing); err == nil {
+		t.Fatal("expected failure")
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("failed key should be retried, got %d attempts", attempts.Load())
+	}
+	if m := svc.Metrics(); m.JobsFailed != 2 {
+		t.Fatalf("jobsFailed = %d, want 2", m.JobsFailed)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1, DefaultTimeout: 10 * time.Millisecond})
+	_, _, err := svc.Do(context.Background(), "slow", func(ctx context.Context) (*ehs.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("timed-out job returned no error")
+	}
+	if m := svc.Metrics(); m.JobsCanceled != 1 {
+		t.Fatalf("jobsCanceled = %d, want 1", m.JobsCanceled)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blocker := func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &ehs.Result{Completed: true}, nil
+	}
+	// Fill the single worker plus the single queue slot, then overflow.
+	done := make(chan struct{}, 2)
+	submitted := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		key := []string{"bp-a", "bp-b"}[i]
+		go func(key string) {
+			submitted <- struct{}{}
+			svc.Do(context.Background(), key, blocker)
+			done <- struct{}{}
+		}(key)
+	}
+	<-submitted
+	<-submitted
+	// Wait until both jobs are registered (one running, one queued).
+	deadline := time.After(2 * time.Second)
+	for {
+		m := svc.Metrics()
+		if m.QueueDepth >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	_, err := svc.Submit(RunSpec{App: "jpeg", Scale: 0.004})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err=%v, want ErrQueueFull", err)
+	}
+	close(release)
+	<-done
+	<-done
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	defer close(release)
+	go svc.Do(context.Background(), "hog", func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &ehs.Result{}, nil
+	})
+	// Wait for the hog to occupy the worker.
+	for svc.Metrics().JobsRun == 0 && svc.Metrics().RunSamples == 0 {
+		if len(svc.Jobs()) > 0 && svc.Jobs()[0].State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	job, err := svc.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err == nil {
+		t.Fatal("canceled queued job completed successfully")
+	}
+	st, err := svc.Job(job.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	job, err := svc.Submit(RunSpec{App: "jpeg", Scale: 1.0}) // long run
+	if err != nil {
+		t.Fatal(err)
+	}
+	go svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := job.Wait(ctx); err == nil {
+		t.Fatal("job survived service close")
+	}
+	if _, err := svc.Submit(quickSpec()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err=%v, want ErrClosed", err)
+	}
+}
+
+func TestJobRetentionPruning(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 2, RetainJobs: 4})
+	var first *Job
+	for i := 0; i < 8; i++ {
+		job, err := svc.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = job
+		}
+		if _, err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Job(first.ID()); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job should be pruned, got err=%v", err)
+	}
+	if got := len(svc.Jobs()); got != 4 {
+		t.Fatalf("retained %d jobs, want 4", got)
+	}
+}

@@ -1,0 +1,428 @@
+package simsvc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"kagura/internal/cache"
+	"kagura/internal/compress"
+	"kagura/internal/ehs"
+	"kagura/internal/kagura"
+	"kagura/internal/powertrace"
+	"kagura/internal/workload"
+)
+
+// RunSpec is the wire-level description of one simulation run: the job body
+// of POST /v1/run, one element of POST /v1/batch, and the schema behind
+// kagura-sim's -json flag. The zero value of every optional field selects the
+// paper's default, so `{"app":"jpeg"}` is a complete spec.
+type RunSpec struct {
+	// App names a built-in workload (see GET /v1/workloads). Mutually
+	// exclusive with Workload.
+	App string `json:"app,omitempty"`
+	// Workload is an inline custom application in the JSON schema of
+	// workload.FromJSON (kagura-sim's -workload file format).
+	Workload json.RawMessage `json:"workload,omitempty"`
+	// Scale multiplies the workload length (default 1.0 ≈ 600k instructions).
+	// Ignored for inline Workload definitions, which fix their own length.
+	Scale float64 `json:"scale,omitempty"`
+	// Trace names the ambient power source (default "RFHome").
+	Trace string `json:"trace,omitempty"`
+	// Seed selects the power-trace seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Codec enables cache compression ("" ⇒ compressor-free baseline).
+	Codec string `json:"codec,omitempty"`
+	// ACC gates compression behind the GCP predictor.
+	ACC bool `json:"acc,omitempty"`
+	// Kagura layers the intermittence-aware controller on top.
+	Kagura bool `json:"kagura,omitempty"`
+	// Policy is the R_thres adaptation policy (default "AIMD").
+	Policy string `json:"policy,omitempty"`
+	// Trigger is the Kagura trigger, "mem" or "voltage" (default "mem").
+	Trigger string `json:"trigger,omitempty"`
+	// Design selects the crash-consistency architecture (default
+	// "NVSRAMCache").
+	Design string `json:"design,omitempty"`
+	// DecayInterval enables EDBP cache decay when > 0 (cycles).
+	DecayInterval int64 `json:"decayInterval,omitempty"`
+	// Prefetch enables the IPEX-style next-line prefetcher.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// CycleLog retains the per-power-cycle log in the result.
+	CycleLog bool `json:"cycleLog,omitempty"`
+	// MaxSimSeconds overrides the simulated-time safety cutoff (default 120).
+	MaxSimSeconds float64 `json:"maxSimSeconds,omitempty"`
+	// TimeoutSeconds bounds the job's wall-clock execution (0 ⇒ the
+	// service's default timeout). Not part of the cache identity.
+	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
+}
+
+// Normalize validates the spec and returns a canonical copy: defaults
+// applied, names rewritten to their canonical spelling, and inline workloads
+// re-serialized deterministically. Two specs describing the same simulation
+// normalize to identical values, which is what makes Key content-addressed.
+func (sp RunSpec) Normalize() (RunSpec, error) {
+	out := sp
+	if sp.App == "" && len(sp.Workload) == 0 {
+		return out, fmt.Errorf("simsvc: spec needs an app or an inline workload")
+	}
+	if sp.App != "" && len(sp.Workload) > 0 {
+		return out, fmt.Errorf("simsvc: app and workload are mutually exclusive")
+	}
+	if out.Scale == 0 {
+		out.Scale = 1
+	}
+	if out.Scale < 0 {
+		return out, fmt.Errorf("simsvc: negative scale %g", out.Scale)
+	}
+	if out.Trace == "" {
+		out.Trace = "RFHome"
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.MaxSimSeconds < 0 || out.TimeoutSeconds < 0 {
+		return out, fmt.Errorf("simsvc: negative timeout")
+	}
+
+	if len(sp.Workload) > 0 {
+		// Parse and re-serialize so formatting differences (whitespace, field
+		// order the encoder normalizes) don't split the cache.
+		app, err := workload.FromJSON(bytes.NewReader(sp.Workload))
+		if err != nil {
+			return out, fmt.Errorf("simsvc: inline workload: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := app.ToJSON(&buf); err != nil {
+			return out, err
+		}
+		out.Workload = json.RawMessage(buf.Bytes())
+		out.Scale = 1 // length is fixed by the definition
+	} else if _, err := workload.ByName(sp.App, 0.01); err != nil {
+		return out, fmt.Errorf("simsvc: %w", err)
+	}
+
+	trace, err := powertrace.ByName(out.Trace, out.Seed)
+	if err != nil {
+		return out, fmt.Errorf("simsvc: %w", err)
+	}
+	out.Trace = trace.Name
+
+	if sp.Codec != "" {
+		codec, err := compress.ByName(sp.Codec)
+		if err != nil {
+			return out, fmt.Errorf("simsvc: %w", err)
+		}
+		out.Codec = codec.Name()
+	} else if sp.ACC {
+		return out, fmt.Errorf("simsvc: acc requires a codec")
+	}
+
+	out.Design, err = canonicalDesign(sp.Design)
+	if err != nil {
+		return out, err
+	}
+
+	if sp.Kagura {
+		if out.Policy == "" {
+			out.Policy = "AIMD"
+		}
+		pol, err := kagura.PolicyByName(out.Policy)
+		if err != nil {
+			return out, fmt.Errorf("simsvc: %w", err)
+		}
+		out.Policy = pol.String()
+		out.Trigger, err = canonicalTrigger(sp.Trigger)
+		if err != nil {
+			return out, err
+		}
+	} else {
+		if sp.Policy != "" || sp.Trigger != "" {
+			return out, fmt.Errorf("simsvc: policy/trigger require kagura")
+		}
+	}
+	if out.DecayInterval < 0 {
+		return out, fmt.Errorf("simsvc: negative decay interval")
+	}
+	return out, nil
+}
+
+func canonicalDesign(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "", "nvsramcache":
+		return ehs.NVSRAMCache.String(), nil
+	case "nvmr":
+		return ehs.NvMR.String(), nil
+	case "sweepcache":
+		return ehs.SweepCache.String(), nil
+	}
+	return "", fmt.Errorf("simsvc: unknown design %q", name)
+}
+
+func designByName(name string) ehs.Design {
+	switch name {
+	case ehs.NvMR.String():
+		return ehs.NvMR
+	case ehs.SweepCache.String():
+		return ehs.SweepCache
+	}
+	return ehs.NVSRAMCache
+}
+
+func canonicalTrigger(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "", "mem", "memory":
+		return "mem", nil
+	case "vol", "voltage":
+		return "voltage", nil
+	}
+	return "", fmt.Errorf("simsvc: unknown trigger %q", name)
+}
+
+// Key returns the spec's content-addressed cache key: a SHA-256 over the
+// canonical form, excluding execution-control fields (TimeoutSeconds) that
+// don't change what the simulation computes.
+func (sp RunSpec) Key() (string, error) {
+	norm, err := sp.Normalize()
+	if err != nil {
+		return "", err
+	}
+	norm.TimeoutSeconds = 0
+	blob, err := json.Marshal(norm)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Config materializes the spec into a runnable simulator configuration.
+func (sp RunSpec) Config() (ehs.Config, error) {
+	norm, err := sp.Normalize()
+	if err != nil {
+		return ehs.Config{}, err
+	}
+	var app *workload.App
+	if len(norm.Workload) > 0 {
+		app, err = workload.FromJSON(bytes.NewReader(norm.Workload))
+	} else {
+		app, err = workload.ByName(norm.App, norm.Scale)
+	}
+	if err != nil {
+		return ehs.Config{}, err
+	}
+	trace, err := powertrace.ByName(norm.Trace, norm.Seed)
+	if err != nil {
+		return ehs.Config{}, err
+	}
+	cfg := ehs.Default(app, trace)
+	cfg.Design = designByName(norm.Design)
+	if norm.Codec != "" {
+		codec, err := compress.ByName(norm.Codec)
+		if err != nil {
+			return ehs.Config{}, err
+		}
+		cfg.Codec = codec
+		cfg.UseACC = norm.ACC
+	}
+	if norm.Kagura {
+		kcfg := kagura.DefaultConfig()
+		pol, err := kagura.PolicyByName(norm.Policy)
+		if err != nil {
+			return ehs.Config{}, err
+		}
+		kcfg.Policy = pol
+		if norm.Trigger == "voltage" {
+			kcfg.Trigger = kagura.TriggerVoltage
+		}
+		cfg.Kagura = &kcfg
+	}
+	cfg.DecayInterval = norm.DecayInterval
+	cfg.Prefetch = norm.Prefetch
+	cfg.CollectCycleLog = norm.CycleLog
+	if norm.MaxSimSeconds > 0 {
+		cfg.MaxSimSeconds = norm.MaxSimSeconds
+	}
+	return cfg, nil
+}
+
+// ConfigKey returns a content-addressed cache key for an arbitrary simulator
+// configuration: a SHA-256 over every behavior-determining input — the full
+// workload definition, the power trace samples, and all architectural
+// parameters. Two configs with equal keys produce byte-identical results
+// (runs are deterministic), which is what lets the service memoize across
+// clients that build configs programmatically rather than via RunSpec.
+func ConfigKey(cfg ehs.Config) string {
+	h := sha256.New()
+	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+
+	if app := cfg.App; app != nil {
+		w("app|%s|%d|%d\n", app.Name, app.Seed, app.Len())
+		for _, r := range app.Regions {
+			w("region|%d|%d|%d|%d\n", r.Base, r.SizeWords, r.HotWords, r.Class)
+		}
+		for _, p := range app.Phases {
+			w("phase|%d|%d|%d|", p.Iterations, p.CodeBase, p.CodeWords)
+			for _, s := range p.Body {
+				w("%d.%d.%d,", s.Kind, s.Pattern, s.Region)
+			}
+			w("\n")
+		}
+	}
+	if tr := cfg.Trace; tr != nil {
+		w("trace|%s|%d\n", tr.Name, len(tr.Samples))
+		var buf [8]byte
+		for _, s := range tr.Samples {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+			h.Write(buf[:])
+		}
+	}
+	w("cap|%+v\n", cfg.Capacitor)
+	w("nvm|%+v\n", cfg.NVM)
+	w("icache|%s|%d|%d|%d|%d|%d|%d\n", cfg.ICache.Name, cfg.ICache.SizeBytes,
+		cfg.ICache.Ways, cfg.ICache.BlockSize, cfg.ICache.TagFactor,
+		cfg.ICache.SegmentBytes, cfg.ICache.Replacement)
+	w("dcache|%s|%d|%d|%d|%d|%d|%d\n", cfg.DCache.Name, cfg.DCache.SizeBytes,
+		cfg.DCache.Ways, cfg.DCache.BlockSize, cfg.DCache.TagFactor,
+		cfg.DCache.SegmentBytes, cfg.DCache.Replacement)
+	if cfg.Codec != nil {
+		w("codec|%s\n", cfg.Codec.Name())
+	}
+	w("acc|%t\n", cfg.UseACC)
+	if cfg.Kagura != nil {
+		w("kagura|%+v\n", *cfg.Kagura)
+	}
+	w("design|%s\n", cfg.Design)
+	w("energy|%+v\n", cfg.Energy)
+	w("decay|%d|prefetch|%t|atomic|%d|cyclelog|%t|maxsim|%g\n",
+		cfg.DecayInterval, cfg.Prefetch, cfg.AtomicRegionInstrs,
+		cfg.CollectCycleLog, cfg.MaxSimSeconds)
+	if cfg.Oracle != nil {
+		// Oracles carry run-accumulated state that cannot be fingerprinted by
+		// value; pointer identity keeps distinct oracle runs from aliasing.
+		w("oracle|%d|%p\n", cfg.Oracle.Mode, cfg.Oracle)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EnergyJSON is the wire form of the six-way energy breakdown, in joules.
+type EnergyJSON struct {
+	Compress   float64 `json:"compress"`
+	Decompress float64 `json:"decompress"`
+	CacheOther float64 `json:"cacheOther"`
+	Memory     float64 `json:"memory"`
+	Checkpoint float64 `json:"checkpoint"`
+	Others     float64 `json:"others"`
+	Total      float64 `json:"total"`
+}
+
+// CacheJSON is the wire form of one cache's event counters.
+type CacheJSON struct {
+	Accesses       int64   `json:"accesses"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	MissRate       float64 `json:"missRate"`
+	Compressions   int64   `json:"compressions"`
+	Decompressions int64   `json:"decompressions"`
+	Evictions      int64   `json:"evictions"`
+	ShadowHits     int64   `json:"shadowHits"`
+}
+
+// CycleJSON is the wire form of one power-cycle record.
+type CycleJSON struct {
+	Committed int64   `json:"committed"`
+	Loads     int64   `json:"loads"`
+	Stores    int64   `json:"stores"`
+	Cycles    int64   `json:"cycles"`
+	CPI       float64 `json:"cpi"`
+}
+
+// Comparison reports a run against the compressor-free baseline (kagura-sim
+// -compare -json).
+type Comparison struct {
+	Speedup         float64 `json:"speedup"`
+	EnergyReduction float64 `json:"energyReduction"`
+}
+
+// RunResult is the JSON result schema shared by the HTTP API and kagura-sim
+// -json.
+type RunResult struct {
+	Spec   *RunSpec `json:"spec,omitempty"`
+	Key    string   `json:"key,omitempty"`
+	Cached bool     `json:"cached,omitempty"`
+
+	Completed            bool        `json:"completed"`
+	ExecSeconds          float64     `json:"execSeconds"`
+	Committed            int64       `json:"committed"`
+	Executed             int64       `json:"executed"`
+	PowerCycles          int64       `json:"powerCycles"`
+	AvgCommittedPerCycle float64     `json:"avgCommittedPerCycle"`
+	Energy               EnergyJSON  `json:"energy"`
+	ICache               CacheJSON   `json:"icache"`
+	DCache               CacheJSON   `json:"dcache"`
+	Compressions         int64       `json:"compressions"`
+	Decompressions       int64       `json:"decompressions"`
+	KaguraRMEntries      int64       `json:"kaguraRMEntries,omitempty"`
+	Prefetches           int64       `json:"prefetches,omitempty"`
+	CheckpointedBlocks   int64       `json:"checkpointedBlocks,omitempty"`
+	Cycles               []CycleJSON `json:"cycles,omitempty"`
+
+	VsBaseline *Comparison `json:"vsBaseline,omitempty"`
+}
+
+// NewRunResult converts a simulator result into the wire schema. spec may be
+// nil for programmatic jobs.
+func NewRunResult(spec *RunSpec, key string, cached bool, res *ehs.Result) *RunResult {
+	out := &RunResult{
+		Spec:                 spec,
+		Key:                  key,
+		Cached:               cached,
+		Completed:            res.Completed,
+		ExecSeconds:          res.ExecSeconds,
+		Committed:            res.Committed,
+		Executed:             res.Executed,
+		PowerCycles:          res.PowerCycles,
+		AvgCommittedPerCycle: res.AvgCommittedPerCycle(),
+		Energy: EnergyJSON{
+			Compress:   res.Energy.Compress,
+			Decompress: res.Energy.Decompress,
+			CacheOther: res.Energy.CacheOther,
+			Memory:     res.Energy.Memory,
+			Checkpoint: res.Energy.Checkpoint,
+			Others:     res.Energy.Others,
+			Total:      res.Energy.Total(),
+		},
+		ICache:             cacheJSON(res.ICache),
+		DCache:             cacheJSON(res.DCache),
+		Compressions:       res.Compressions,
+		Decompressions:     res.Decompressions,
+		KaguraRMEntries:    res.KaguraRMEntries,
+		Prefetches:         res.Prefetches,
+		CheckpointedBlocks: res.CheckpointedBlocks,
+	}
+	for _, c := range res.Cycles {
+		out.Cycles = append(out.Cycles, CycleJSON{
+			Committed: c.Committed, Loads: c.Loads, Stores: c.Stores,
+			Cycles: c.Cycles, CPI: c.CPI(),
+		})
+	}
+	return out
+}
+
+func cacheJSON(s cache.Stats) CacheJSON {
+	return CacheJSON{
+		Accesses:       s.Accesses,
+		Hits:           s.Hits,
+		Misses:         s.Misses,
+		MissRate:       s.MissRate(),
+		Compressions:   s.Compressions,
+		Decompressions: s.Decompressions,
+		Evictions:      s.Evictions,
+		ShadowHits:     s.ShadowHits,
+	}
+}

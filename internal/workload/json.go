@@ -127,16 +127,30 @@ func FromJSON(r io.Reader) (*App, error) {
 	if ja.Name == "" {
 		return nil, fmt.Errorf("workload: app needs a name")
 	}
+	for _, builtin := range Names() {
+		if ja.Name == builtin {
+			return nil, fmt.Errorf("workload: app name %q shadows a built-in workload", ja.Name)
+		}
+	}
 	if len(ja.Regions) == 0 || len(ja.Phases) == 0 {
 		return nil, fmt.Errorf("workload: app %q needs at least one region and one phase", ja.Name)
 	}
 	app := &App{Name: ja.Name, Seed: ja.Seed}
-	for _, jr := range ja.Regions {
+	for ri, jr := range ja.Regions {
 		if jr.SizeWords <= 0 {
-			return nil, fmt.Errorf("workload: region with non-positive size")
+			return nil, fmt.Errorf("workload: region %d with non-positive size", ri)
+		}
+		if jr.HotWords < 0 {
+			return nil, fmt.Errorf("workload: region %d has negative hotWords", ri)
+		}
+		if jr.HotWords > jr.SizeWords {
+			return nil, fmt.Errorf("workload: region %d hotWords %d exceeds sizeWords %d", ri, jr.HotWords, jr.SizeWords)
 		}
 		if jr.Base < dataBase {
 			return nil, fmt.Errorf("workload: region base %#x collides with code space (must be ≥ %#x)", jr.Base, uint32(dataBase))
+		}
+		if end := uint64(jr.Base) + 4*uint64(jr.SizeWords); end > 1<<32 {
+			return nil, fmt.Errorf("workload: region %d [%#x, %#x) overflows the 32-bit address space", ri, jr.Base, end)
 		}
 		class, err := classByName(jr.Class)
 		if err != nil {
@@ -155,6 +169,9 @@ func FromJSON(r io.Reader) (*App, error) {
 		}
 		if jp.CodeBase == 0 || jp.CodeBase >= dataBase {
 			return nil, fmt.Errorf("workload: phase %d code base %#x must be nonzero and below %#x", pi, jp.CodeBase, uint32(dataBase))
+		}
+		if jp.CodeWords < 0 {
+			return nil, fmt.Errorf("workload: phase %d has negative codeWords", pi)
 		}
 		phase := Phase{
 			Iterations: jp.Iterations,

@@ -85,6 +85,11 @@ func TestFromJSONErrors(t *testing.T) {
 		"region in code":  `{"name":"x","regions":[{"base":4096,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
 		"unknown field":   `{"name":"x","bogus":1,"regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
 		"bad slot":        `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["load hot"]}]}`,
+		"builtin name":    `{"name":"jpeg","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"negative hot":    `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"hotWords":-1,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"hot over size":   `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"hotWords":8,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"addr overflow":   `{"name":"x","regions":[{"base":4294963200,"sizeWords":2048,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"body":["arith"]}]}`,
+		"negative code":   `{"name":"x","regions":[{"base":268435456,"sizeWords":4,"class":"zeros"}],"phases":[{"iterations":1,"codeBase":4096,"codeWords":-4,"body":["arith"]}]}`,
 	}
 	for name, js := range cases {
 		if _, err := FromJSON(strings.NewReader(js)); err == nil {

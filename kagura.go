@@ -29,7 +29,9 @@
 package kagura
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"kagura/internal/compress"
 	"kagura/internal/ehs"
@@ -37,6 +39,7 @@ import (
 	"kagura/internal/kagura"
 	"kagura/internal/nvm"
 	"kagura/internal/powertrace"
+	"kagura/internal/simsvc"
 	"kagura/internal/workload"
 )
 
@@ -165,6 +168,31 @@ type (
 	ExperimentTable = experiments.Table
 )
 
+// Simulation service (internal/simsvc): a concurrent scheduler with a
+// content-addressed result cache, serving both programmatic clients (the Lab)
+// and the kagura-serve HTTP API.
+type (
+	// SimService schedules simulation jobs on a bounded worker pool and
+	// memoizes results by canonical configuration hash.
+	SimService = simsvc.Service
+	// ServiceOptions sizes the service (workers, queue, timeouts).
+	ServiceOptions = simsvc.Options
+	// RunSpec is the JSON description of one run (HTTP body, kagura-sim
+	// -json).
+	RunSpec = simsvc.RunSpec
+	// RunJob is one scheduled simulation.
+	RunJob = simsvc.Job
+	// JobStatus is a job's wire-level snapshot.
+	JobStatus = simsvc.JobStatus
+	// RunResult is the JSON result schema shared by the HTTP API and
+	// kagura-sim -json.
+	RunResult = simsvc.RunResult
+	// RunComparison relates a run to its compressor-free baseline.
+	RunComparison = simsvc.Comparison
+	// ServiceMetrics is a snapshot of the service counters.
+	ServiceMetrics = simsvc.MetricsSnapshot
+)
+
 // DefaultConfig returns the paper's Table I system for an app and trace:
 // 256B 2-way I/D caches with 32B blocks, 4.7µF capacitor, 16MB ReRAM,
 // NVSRAMCache checkpointing, no compression.
@@ -178,6 +206,35 @@ func DefaultController() ControllerConfig { return kagura.DefaultConfig() }
 
 // Run executes one simulation to completion.
 func Run(cfg SimConfig) (*Result, error) { return ehs.Run(cfg) }
+
+// RunContext executes one simulation to completion, honoring cancellation:
+// the simulator observes ctx at power-cycle boundaries and every few thousand
+// instructions.
+func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return ehs.RunContext(ctx, cfg)
+}
+
+// NewService creates a simulation service (see cmd/kagura-serve for the HTTP
+// frontend). Close it when done.
+func NewService(opts ServiceOptions) *SimService { return simsvc.New(opts) }
+
+// DefaultServiceOptions returns production service defaults.
+func DefaultServiceOptions() ServiceOptions { return simsvc.DefaultOptions() }
+
+// ServiceHandler returns the service's HTTP API (POST /v1/run, POST
+// /v1/batch, GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET
+// /metrics).
+func ServiceHandler(svc *SimService) http.Handler { return simsvc.NewHandler(svc) }
+
+// ConfigKey returns the content-addressed cache key of a configuration: a
+// canonical hash over every behavior-determining input.
+func ConfigKey(cfg SimConfig) string { return simsvc.ConfigKey(cfg) }
+
+// NewRunResult packages a raw simulation result in the service's wire schema
+// (kagura-sim -json uses this to match the HTTP API byte-for-byte).
+func NewRunResult(spec *RunSpec, key string, cached bool, res *Result) *RunResult {
+	return simsvc.NewRunResult(spec, key, cached, res)
+}
 
 // NewOracle creates an empty oracle for ideal-compressor studies.
 func NewOracle() *Oracle { return ehs.NewOracle() }
@@ -215,8 +272,14 @@ func Compressors() []string { return compress.Names() }
 // related compressors (BPC, FVC).
 func CompressorsExtended() []Codec { return compress.Extended() }
 
-// NewLab creates an experiment lab.
+// NewLab creates an experiment lab backed by its own simulation service.
 func NewLab(opts LabOptions) *Lab { return experiments.New(opts) }
+
+// NewLabWithService creates a lab that shares an existing simulation
+// service's worker pool and result cache.
+func NewLabWithService(svc *SimService, opts LabOptions) *Lab {
+	return experiments.NewWithService(svc, opts)
+}
 
 // DefaultOptions returns full-fidelity experiment options (all apps, three
 // trace seeds, full-length workloads).
