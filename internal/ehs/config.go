@@ -2,6 +2,7 @@ package ehs
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kagura/internal/cache"
 	"kagura/internal/capacitor"
@@ -138,8 +139,12 @@ const (
 // replay stay aligned even as the decisions perturb the exact event stream.
 type Oracle struct {
 	Mode   OracleMode
+	id     uint64
 	useful map[oracleKey]bool
 }
+
+// oracleSeq issues process-unique oracle IDs; see Oracle.ID.
+var oracleSeq atomic.Uint64
 
 // oracleBucketShift coarsens fill times to 4096-instruction buckets; decision
 // drift between the record and replay runs is far smaller than a bucket.
@@ -152,8 +157,13 @@ type oracleKey struct {
 
 // NewOracle returns an empty oracle in record mode.
 func NewOracle() *Oracle {
-	return &Oracle{Mode: OracleRecord, useful: make(map[oracleKey]bool)}
+	return &Oracle{Mode: OracleRecord, id: oracleSeq.Add(1), useful: make(map[oracleKey]bool)}
 }
+
+// ID returns the oracle's process-unique identity, assigned at creation.
+// Cache keys fingerprint oracles with it rather than the pointer value, which
+// the allocator can reuse after GC.
+func (o *Oracle) ID() uint64 { return o.id }
 
 // Replay switches the oracle to replay mode (after a record run).
 func (o *Oracle) Replay() *Oracle {

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -218,11 +219,18 @@ func (s *Service) Close() {
 	s.stop() // cancels every job context derived from baseCtx
 	s.wg.Wait()
 
-	// Fail whatever is still sitting in the queue so waiters unblock.
+	// Fail whatever is still sitting in the queue so waiters unblock. A slot
+	// may belong to a promoted waiter rather than the job that was enqueued
+	// (see Cancel); resolve it the same way a worker would.
 	for {
 		select {
 		case job := <-s.queue:
-			s.finishJob(job, nil, ErrClosed)
+			s.mu.Lock()
+			job = s.slotOwnerLocked(job)
+			s.mu.Unlock()
+			if job != nil {
+				s.finishJob(job, nil, ErrClosed)
+			}
 		default:
 			return
 		}
@@ -273,14 +281,14 @@ func (s *Service) SubmitBatch(specs []RunSpec) ([]*Job, error) {
 // result: the programmatic entry point (experiments.Lab). The returned bool
 // reports whether the result came from the cache (including coalescing onto
 // an identical in-flight job). Canceling ctx abandons the wait AND cancels
-// the job if this call owns it.
+// the job if this call owns it and nobody else is coalesced onto it.
 func (s *Service) Do(ctx context.Context, key string, compute func(context.Context) (*ehs.Result, error)) (*ehs.Result, bool, error) {
 	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout)
 	if err != nil {
 		return nil, false, err
 	}
 	// Propagate caller cancellation into the job (no-op once it finished).
-	stop := context.AfterFunc(ctx, job.cancel)
+	stop := context.AfterFunc(ctx, func() { s.cancelIfAlone(job) })
 	defer stop()
 	res, err := job.Wait(ctx)
 	if err != nil {
@@ -299,17 +307,9 @@ func (s *Service) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stop := context.AfterFunc(ctx, func() {
-		// Abandoned synchronous requests only cancel jobs nobody else is
-		// waiting on; coalesced jobs keep running for their other waiters.
-		s.mu.Lock()
-		e := s.cache[job.key]
-		alone := e == nil || (e.owner == job && len(e.waiters) == 0)
-		s.mu.Unlock()
-		if alone {
-			job.cancel()
-		}
-	})
+	// Abandoned synchronous requests only cancel jobs nobody else is
+	// waiting on; coalesced jobs keep running for their other waiters.
+	stop := context.AfterFunc(ctx, func() { s.cancelIfAlone(job) })
 	defer stop()
 	res, err := job.Wait(ctx)
 	if err != nil {
@@ -340,26 +340,68 @@ func (s *Service) Jobs() []JobStatus {
 	for _, job := range s.jobs {
 		out = append(out, s.statusLocked(job))
 	}
-	// Newest first by ID (IDs are zero-padded sequence numbers).
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
-	}
+	// Newest first by ID (IDs are zero-padded sequence numbers, so the
+	// lexicographic order is the submission order).
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
 	return out
 }
 
 // Cancel cancels a job by ID. Queued jobs fail immediately; running jobs
-// observe their context at the simulator's next cancellation check.
+// observe their context at the simulator's next cancellation check. The
+// underlying computation is only killed when no other submission is coalesced
+// onto it: canceling a waiter detaches just that waiter, canceling a queued
+// owner hands its place in line to the first waiter, and canceling a running
+// owner fails the job but lets the computation finish for the others.
+// Canceling an already-finished job is a no-op.
 func (s *Service) Cancel(id string) error {
 	s.mu.Lock()
 	job, ok := s.jobs[id]
-	queued := ok && job.state == StateQueued
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	job.cancel()
-	if queued {
-		s.finishJob(job, nil, context.Canceled)
+	if terminalState(job.state) {
+		s.mu.Unlock()
+		return nil
+	}
+	now := time.Now()
+	e := s.cache[job.key]
+	switch {
+	case e == nil || (e.owner == job && len(e.waiters) == 0):
+		// Nobody else depends on this computation: kill it outright. A queued
+		// job resolves here; a running one when its compute observes the ctx.
+		queued := job.state == StateQueued
+		if queued {
+			s.finishJobLocked(job, nil, context.Canceled, now)
+		}
+		s.mu.Unlock()
+		if !queued {
+			job.cancel()
+		}
+	case e.owner != job:
+		// Coalesced waiter: detach it (inside finishJobLocked) so the owner's
+		// completion doesn't resolve it a second time; the owner keeps going.
+		s.finishJobLocked(job, nil, context.Canceled, now)
+		s.mu.Unlock()
+	case job.state == StateQueued:
+		// Queued owner with waiters: promote the first waiter to owner before
+		// finishing, so the entry resolution sees a non-owner and leaves the
+		// entry alive. The promoted job inherits the canceled job's queue slot
+		// when a worker drains it (slotOwnerLocked).
+		e.owner, e.waiters = e.waiters[0], e.waiters[1:]
+		s.finishJobLocked(job, nil, context.Canceled, now)
+		s.mu.Unlock()
+	default:
+		// Running owner with waiters: fail only this job's interest, leaving
+		// its context — and with it the in-flight computation — alive for the
+		// remaining waiters. finishJob delivers the outcome to them when the
+		// computation returns, and releases the context then.
+		s.met.jobsCanceled++
+		job.res, job.err, job.cached, job.finished = nil, context.Canceled, false, now
+		job.state = StateCanceled
+		close(job.done)
+		s.retainLocked(job)
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -459,10 +501,39 @@ func (s *Service) worker() {
 	}
 }
 
+// cancelIfAlone cancels job's computation unless other submissions are
+// coalesced onto it: an abandoned caller must not fail the remaining waiters.
+func (s *Service) cancelIfAlone(job *Job) {
+	s.mu.Lock()
+	e := s.cache[job.key]
+	alone := e == nil || (e.owner == job && len(e.waiters) == 0)
+	s.mu.Unlock()
+	if alone {
+		job.cancel()
+	}
+}
+
+// slotOwnerLocked resolves which job a dequeued queue slot should execute:
+// normally the dequeued job itself, but when Cancel promoted a coalesced
+// waiter to owner, the slot passes to the promoted job (which was never
+// enqueued itself — each cache entry holds exactly one slot). Returns nil for
+// a dead slot. Callers hold s.mu.
+func (s *Service) slotOwnerLocked(job *Job) *Job {
+	for job.state != StateQueued {
+		e := s.cache[job.key]
+		if e == nil || e.owner == nil || e.owner == job {
+			return nil
+		}
+		job = e.owner // follows promotion chains; ends at a queued job or cycles out
+	}
+	return job
+}
+
 // runJob executes one owned job and resolves its cache entry.
 func (s *Service) runJob(job *Job) {
 	s.mu.Lock()
-	if job.state != StateQueued { // canceled while waiting for a worker
+	job = s.slotOwnerLocked(job)
+	if job == nil { // canceled while waiting, slot not handed to anyone
 		s.mu.Unlock()
 		return
 	}
@@ -492,49 +563,60 @@ func safeCompute(ctx context.Context, compute func(context.Context) (*ehs.Result
 	return compute(ctx)
 }
 
-// finishJob moves an owned job to a terminal state, publishes (or clears) the
-// cache entry, and resolves coalesced waiters.
+// terminalState reports whether st is one of the three terminal states.
+func terminalState(st State) bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// finishJob moves a job to a terminal state, publishes (or clears) the cache
+// entry it owns, and resolves coalesced waiters.
 func (s *Service) finishJob(job *Job, res *ehs.Result, err error) {
-	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if job.state == StateDone || job.state == StateFailed || job.state == StateCanceled {
-		return
-	}
+	s.finishJobLocked(job, res, err, time.Now())
+}
 
-	terminal := func(j *Job, res *ehs.Result, err error, cached bool) {
-		j.res, j.err, j.cached, j.finished = res, err, cached, now
+// finishJobLocked is finishJob with s.mu held.
+func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time.Time) {
+	e := s.cache[job.key]
+	ownsEntry := e != nil && e.owner == job
+	if terminalState(job.state) {
+		// The job was already resolved individually (Cancel), but if it still
+		// owns a live cache entry its computation ran on for the coalesced
+		// waiters: fall through to deliver the outcome to them.
+		if !ownsEntry {
+			return
+		}
+	} else {
+		// Book the job's own outcome.
 		switch {
 		case err == nil:
-			j.state = StateDone
+			s.met.jobsRun++
+			if !job.started.IsZero() {
+				s.met.runNanos += now.Sub(job.started).Nanoseconds()
+				s.met.runCount++
+			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			j.state = StateCanceled
+			s.met.jobsCanceled++
 		default:
-			j.state = StateFailed
+			s.met.jobsFailed++
 		}
-		close(j.done)
-		j.cancel()
-		s.retainLocked(j)
-	}
-
-	// Book the owner's outcome.
-	switch {
-	case err == nil:
-		s.met.jobsRun++
-		if !job.started.IsZero() {
-			s.met.runNanos += now.Sub(job.started).Nanoseconds()
-			s.met.runCount++
+		// A coalesced waiter finishing on its own (Cancel) detaches from its
+		// entry so the owner's completion doesn't resolve it a second time.
+		if e != nil && !ownsEntry {
+			for i, w := range e.waiters {
+				if w == job {
+					e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+					break
+				}
+			}
 		}
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		s.met.jobsCanceled++
-	default:
-		s.met.jobsFailed++
 	}
 
 	// Resolve the cache entry this job owns. Success publishes the result;
 	// failure clears the slot so a retry can recompute. Coalesced waiters
 	// inherit the owner's outcome, successes counting as cache hits.
-	if e := s.cache[job.key]; e != nil && e.owner == job {
+	if ownsEntry {
 		waiters := e.waiters
 		if err == nil {
 			e.ready, e.res, e.owner, e.waiters = true, res, nil, nil
@@ -550,10 +632,33 @@ func (s *Service) finishJob(job *Job, res *ehs.Result, err error) {
 			default:
 				s.met.jobsFailed++
 			}
-			terminal(w, res, err, err == nil)
+			s.finishOneLocked(w, res, err, err == nil, now)
 		}
 	}
-	terminal(job, res, err, false)
+	s.finishOneLocked(job, res, err, false, now)
+	job.cancel() // idempotent; also releases a detached owner's context once its computation returns
+}
+
+// finishOneLocked moves a single job to a terminal state — result fields,
+// done channel, context, retention — without touching its cache entry.
+// Already-terminal jobs are left untouched, so a job resolved individually
+// can never have its done channel closed twice. Callers hold s.mu.
+func (s *Service) finishOneLocked(job *Job, res *ehs.Result, err error, cached bool, now time.Time) {
+	if terminalState(job.state) {
+		return
+	}
+	job.res, job.err, job.cached, job.finished = res, err, cached, now
+	switch {
+	case err == nil:
+		job.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCanceled
+	default:
+		job.state = StateFailed
+	}
+	close(job.done)
+	job.cancel()
+	s.retainLocked(job)
 }
 
 // retainLocked records a terminal job and prunes beyond the retention bound.

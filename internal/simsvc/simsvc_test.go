@@ -3,6 +3,7 @@ package simsvc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -408,6 +409,203 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	if st.State != StateCanceled {
 		t.Fatalf("state = %s, want canceled", st.State)
+	}
+}
+
+// occupyWorker parks a hog job on one worker until the returned channel is
+// sent to (or closed), so later submissions pile up in the queue.
+func occupyWorker(t *testing.T, svc *Service) (release chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	go svc.Do(context.Background(), "hog", func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &ehs.Result{Completed: true}, nil
+	})
+	deadline := time.After(2 * time.Second)
+	for {
+		for _, st := range svc.Jobs() {
+			if st.State == StateRunning {
+				return release
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatal("hog never started running")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestCancelCoalescedWaiter is the double-close regression: canceling a
+// coalesced waiter must detach it from its entry, or the owner's completion
+// closes the waiter's done channel a second time and panics a worker.
+func TestCancelCoalescedWaiter(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	release := occupyWorker(t, svc)
+	defer close(release)
+
+	owner, err := svc.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := svc.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner.Key() != waiter.Key() {
+		t.Fatal("identical specs did not coalesce")
+	}
+	if err := svc.Cancel(waiter.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waiter.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	release <- struct{}{} // unblock the hog; owner runs next
+	res, err := owner.Wait(context.Background())
+	if err != nil || !res.Completed {
+		t.Fatalf("owner should complete normally: res=%v err=%v", res, err)
+	}
+	// The owner's completion must not have re-resolved the canceled waiter.
+	st, err := svc.Job(waiter.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("waiter state = %s, want canceled", st.State)
+	}
+}
+
+// TestCancelQueuedOwnerPromotesWaiter: canceling a queued owner must not kill
+// the other clients' coalesced submissions — the first waiter inherits the
+// owner's queue slot and the computation still happens.
+func TestCancelQueuedOwnerPromotesWaiter(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	release := occupyWorker(t, svc)
+	defer close(release)
+
+	owner, err := svc.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := svc.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Cancel(owner.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	release <- struct{}{}
+	res, err := waiter.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("promoted waiter failed: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("promoted waiter's run did not complete")
+	}
+	// The result must have landed in the cache for later submissions.
+	again, err := svc.Run(context.Background(), quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("promoted run's result was not cached")
+	}
+}
+
+// TestCancelRunningOwnerKeepsWaiters: canceling a running owner fails only
+// that job; the in-flight computation still delivers to its waiters.
+func TestCancelRunningOwnerKeepsWaiters(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-release:
+			return &ehs.Result{Completed: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	owner, err := svc.submit(nil, "shared", block, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		if st, err := svc.Job(owner.ID()); err == nil && st.State == StateRunning {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("owner never started running")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	waiter, err := svc.submit(nil, "shared", block, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Cancel(owner.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	release <- struct{}{}
+	res, err := waiter.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("waiter failed after owner cancel: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("waiter result incomplete")
+	}
+}
+
+func TestJobsNewestFirst(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 2})
+	instant := func(ctx context.Context) (*ehs.Result, error) {
+		return &ehs.Result{Completed: true}, nil
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := svc.Do(context.Background(), fmt.Sprintf("order-%d", i), instant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 5 {
+		t.Fatalf("got %d jobs, want 5", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i-1].ID < jobs[i].ID {
+			t.Fatalf("jobs not newest-first: %s before %s", jobs[i-1].ID, jobs[i].ID)
+		}
+	}
+}
+
+func TestConfigKeySeparatesOracles(t *testing.T) {
+	cfg, err := quickSpec().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cfg, cfg
+	a.Oracle, b.Oracle = ehs.NewOracle(), ehs.NewOracle()
+	if ConfigKey(a) == ConfigKey(b) {
+		t.Fatal("distinct oracles produced the same key")
+	}
+	if ConfigKey(a) != ConfigKey(a) {
+		t.Fatal("same oracle hashed unstably")
+	}
+	recordKey := ConfigKey(a)
+	a.Oracle.Replay() // flips the same oracle's mode in place
+	if ConfigKey(a) == recordKey {
+		t.Fatal("record and replay phases produced the same key")
 	}
 }
 

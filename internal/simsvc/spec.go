@@ -304,8 +304,9 @@ func ConfigKey(cfg ehs.Config) string {
 		cfg.CollectCycleLog, cfg.MaxSimSeconds)
 	if cfg.Oracle != nil {
 		// Oracles carry run-accumulated state that cannot be fingerprinted by
-		// value; pointer identity keeps distinct oracle runs from aliasing.
-		w("oracle|%d|%p\n", cfg.Oracle.Mode, cfg.Oracle)
+		// value; their process-unique creation ID keeps distinct oracle runs
+		// from aliasing (a pointer could be reused by the allocator after GC).
+		w("oracle|%d|%d\n", cfg.Oracle.Mode, cfg.Oracle.ID())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
