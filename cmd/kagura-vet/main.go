@@ -1,0 +1,293 @@
+// Command kagura-vet is the driver for kagura's project-specific static
+// analyzers (internal/lint): simdeterminism, lockedblock, mapiterorder, and
+// floateq. It runs two ways:
+//
+// Standalone, over package patterns (the CI entry point):
+//
+//	go run ./cmd/kagura-vet ./...
+//	kagura-vet ./internal/simsvc ./internal/ehs
+//
+// Exit status: 0 clean, 1 findings, 2 tool failure.
+//
+// As a go vet tool, speaking vet's unit-checker protocol (-V=full handshake,
+// then one JSON .cfg per package with export-data import maps):
+//
+//	go vet -vettool=$(which kagura-vet) ./...
+//
+// In vet mode findings exit 2, matching x/tools' unitchecker convention.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kagura/internal/lint"
+)
+
+func main() {
+	// go vet probes tools with -V=full before anything else; the output is
+	// its cache key for this tool.
+	versionFlag := flag.Bool("V", false, "print version and exit (go vet protocol)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = usage
+	// Accept -V=full (a non-boolean value) the way vet passes it, and answer
+	// the -flags probe go vet uses to learn which flags the tool accepts.
+	for i, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			os.Args[i+1] = "-V"
+		case "-flags", "--flags":
+			printFlagsJSON()
+			return
+		}
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag:
+		fmt.Println("kagura-vet version 1 (simdeterminism,lockedblock,mapiterorder,floateq)")
+		return
+	case *listFlag:
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], *jsonFlag))
+	}
+	os.Exit(runStandalone(args, *jsonFlag))
+}
+
+// printFlagsJSON answers go vet's -flags probe: a JSON description of the
+// tool's flags, which vet uses to decide what it may forward.
+func printFlagsJSON() {
+	type flagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var descs []flagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		_, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		descs = append(descs, flagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	json.NewEncoder(os.Stdout).Encode(descs)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: kagura-vet [-json] [-list] [packages]\n\nAnalyzers:\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+	}
+}
+
+// runStandalone loads the given package patterns from source and analyzes
+// them. Returns the process exit code.
+func runStandalone(patterns []string, asJSON bool) int {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return fail(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return fail(err)
+	}
+	var diags []lint.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return fail(fmt.Errorf("loading %s: %w", path, err))
+		}
+		ds, err := lint.RunAnalyzers(lint.All(), pkg)
+		if err != nil {
+			return fail(err)
+		}
+		diags = append(diags, ds...)
+	}
+	lint.SortDiagnostics(diags)
+	emit(os.Stdout, diags, asJSON, loader.ModDir)
+	if len(diags) > 0 && !asJSON {
+		return 1
+	}
+	return 0
+}
+
+// emit prints diagnostics, with positions relative to the module root so
+// output is stable across machines.
+func emit(w io.Writer, diags []lint.Diagnostic, asJSON bool, modDir string) {
+	if asJSON {
+		type jsonDiag struct {
+			Pos      string `json:"posn"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{relPos(d, modDir), d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", relPos(d, modDir), d.Analyzer, d.Message)
+	}
+}
+
+func relPos(d lint.Diagnostic, modDir string) string {
+	file := d.Pos.Filename
+	if modDir != "" {
+		if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", file, d.Pos.Line, d.Pos.Column)
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "kagura-vet:", err)
+	return 2
+}
+
+// vetConfig is the JSON unit-checker configuration go vet hands each tool,
+// one file per package (the subset of fields this driver needs).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package described by a vet .cfg file. Returns the
+// process exit code (0 clean, 1 failure, 2 findings — unitchecker's
+// convention, which go vet surfaces as the findings themselves).
+func runVetUnit(cfgFile string, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return vetFail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return vetFail(fmt.Errorf("%s: %w", cfgFile, err))
+	}
+	// This tool produces no cross-package facts, but vet requires the output
+	// file to exist for its action cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return vetFail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test files are exempt from the suite by design (see internal/lint):
+		// vet also invokes the tool on test variants of each package.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Imports resolve through the export data the go command already built,
+	// exactly as x/tools' unitchecker does it.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := mapImporter{cfg: &cfg, under: compilerImp}
+	tconf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, "amd64")}
+	info := lint.NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+
+	pkg := &lint.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := lint.RunAnalyzers(lint.All(), pkg)
+	if err != nil {
+		return vetFail(err)
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if asJSON {
+		emit(os.Stdout, diags, true, "")
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func typecheckFailed(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	return vetFail(err)
+}
+
+func vetFail(err error) int {
+	fmt.Fprintln(os.Stderr, "kagura-vet:", err)
+	return 1
+}
+
+// mapImporter translates import paths through the vet config's ImportMap
+// before delegating to the export-data importer.
+type mapImporter struct {
+	cfg   *vetConfig
+	under types.Importer
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.under.Import(path)
+}

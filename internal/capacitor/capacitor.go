@@ -161,6 +161,7 @@ func (s *State) Drain(joules float64) {
 
 // Leak applies leakage over dt seconds and returns the energy lost.
 func (s *State) Leak(dt float64) float64 {
+	//kagura:allow floateq exact sentinels: conductance 0 means leakage disabled, energy 0 means empty
 	if s.cfg.LeakConductance == 0 || dt <= 0 || s.energy == 0 {
 		return 0
 	}

@@ -82,7 +82,7 @@ func (r *Result) AvgCommittedPerCycle() float64 {
 // Speedup returns the relative performance gain of this result over a
 // baseline: t_base/t_this − 1.
 func (r *Result) Speedup(baseline *Result) float64 {
-	if r.ExecSeconds == 0 {
+	if r.ExecSeconds == 0 { //kagura:allow floateq exact-zero division guard
 		return 0
 	}
 	return baseline.ExecSeconds/r.ExecSeconds - 1
@@ -92,7 +92,7 @@ func (r *Result) Speedup(baseline *Result) float64 {
 // 1 − E_this/E_base.
 func (r *Result) EnergyReduction(baseline *Result) float64 {
 	base := baseline.Energy.Total()
-	if base == 0 {
+	if base == 0 { //kagura:allow floateq exact-zero division guard
 		return 0
 	}
 	return 1 - r.Energy.Total()/base

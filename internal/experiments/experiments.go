@@ -338,18 +338,26 @@ func (l *Lab) warm(jobs []func() error) error {
 	if err := l.context().Err(); err != nil {
 		return err
 	}
-	errs := make(chan error, len(jobs))
-	for _, job := range jobs {
-		job := job
-		go func() { errs <- job() }()
+	// Per-index error slots + a join before reading keep the fan-out
+	// order-independent: the reported error is the first by job index, not
+	// whichever goroutine happened to lose the race.
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		//kagura:allow goroutine fan-out joins below; each goroutine writes only its own slot
+		go func(i int, job func() error) {
+			defer wg.Done()
+			errs[i] = job()
+		}(i, job)
 	}
-	var first error
-	for range jobs {
-		if err := <-errs; err != nil && first == nil {
-			first = err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
 }
 
 // avgSpeedup averages the speedup of variant over base across the lab's

@@ -66,6 +66,40 @@ func TestFormatDispatch(t *testing.T) {
 	}
 }
 
+// TestExportByteStable pins the determinism contract the mapiterorder
+// analyzer enforces: rendering the same table repeatedly must produce
+// byte-identical output, even though WriteJSON builds each row as a map.
+// (encoding/json sorts map keys; this test keeps that load-bearing.)
+func TestExportByteStable(t *testing.T) {
+	tbl := sampleTable()
+	// Widen the table so a map-order leak would have many chances to show.
+	tbl.Header = []string{"app", "speedup", "energy", "cycles", "cpi", "ratio", "hits", "misses"}
+	tbl.Rows = nil
+	for i := 0; i < 8; i++ {
+		row := make([]string, len(tbl.Header))
+		for j := range row {
+			row[j] = string(rune('a'+i)) + string(rune('0'+j))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	for _, format := range []string{"json", "csv", "text"} {
+		var first bytes.Buffer
+		if err := tbl.Format(format, &first); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			var again bytes.Buffer
+			if err := tbl.Format(format, &again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), again.Bytes()) {
+				t.Fatalf("%s output unstable across runs:\n--- first\n%s\n--- run %d\n%s",
+					format, first.String(), i, again.String())
+			}
+		}
+	}
+}
+
 func TestJSONRowWiderThanHeader(t *testing.T) {
 	tbl := sampleTable()
 	tbl.Rows = [][]string{{"a", "b", "extra"}}

@@ -331,6 +331,7 @@ func (l *Lab) Fig12CycleConsistency() (*Fig12Result, error) {
 }
 
 // relDiff returns |a−b| / max(|b|, ε).
+// kagura:floateq-helper — the exact-zero tests define the ε fallback itself.
 func relDiff(a, b float64) float64 {
 	if b == 0 {
 		if a == 0 {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatEq flags == and != on floating-point operands (and switches on a
+// float tag). Energy and cycle values in this codebase are sums of thousands
+// of float64 terms; exact comparison of such values either never fires or
+// fires dependent on association order, both of which have produced silent
+// evaluation skew in simulators like this one.
+//
+// Two escape hatches, both deliberate and auditable:
+//
+//   - Epsilon helpers: a comparison inside a function whose name matches
+//     (?i)(approx|almost|within|epsilon|toleran|near…), or whose doc comment
+//     contains the marker "kagura:floateq-helper", is exempt — that is where
+//     exact bit tests belong.
+//   - Exact-sentinel checks (x == 0 guarding division, rejection-sampling
+//     bounds) carry a //kagura:allow floateq annotation stating why exactness
+//     is intended.
+//
+// Comparisons where both operands are compile-time constants are ignored.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point values outside approved epsilon helpers",
+	Run:  runFloatEq,
+}
+
+// helperName matches function names that are approved epsilon/exactness
+// helpers.
+var helperName = regexp.MustCompile(`(?i)(approx|almost|within|epsilon|toleran|near)`)
+
+// helperMarker in a function's doc comment approves it explicitly.
+const helperMarker = "kagura:floateq-helper"
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if helperName.MatchString(fd.Name.Name) {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), helperMarker) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !isFloat(pass.TypeOf(n.X)) && !isFloat(pass.TypeOf(n.Y)) {
+						return true
+					}
+					if isConst(pass, n.X) && isConst(pass, n.Y) {
+						return true
+					}
+					pass.Reportf(n.OpPos, "floateq",
+						"%s on floating-point values; accumulated float error makes exact comparison order-dependent — use an epsilon helper, or annotate //kagura:allow floateq if exactness is the point", n.Op)
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloat(pass.TypeOf(n.Tag)) {
+						pass.Reportf(n.Switch, "floateq",
+							"switch on a floating-point value compares exactly per case; use explicit epsilon comparisons")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestFloatEq runs the fixture: exact float ==/!= and float switches are
+// flagged; integer compares, named and marker-approved epsilon helpers,
+// constant folds, and annotated sentinels pass.
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "testdata/src/floateq", "kagura/internal/lint/fixture/floateq")
+}

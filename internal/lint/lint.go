@@ -1,0 +1,188 @@
+// Package lint is kagura's project-specific static-analysis suite. It
+// enforces the two invariants the rest of the repository depends on but the
+// compiler cannot check:
+//
+//   - Simulation determinism: the deterministic core packages (ehs, cache,
+//     compress, …) must be bit-for-bit reproducible, so wall-clock reads,
+//     math/rand global state, environment lookups, unordered map iteration
+//     feeding output, and exact float comparison are all forbidden there
+//     (analyzers simdeterminism, mapiterorder, floateq).
+//
+//   - Concurrency hygiene: the serving layer (simsvc) must never block while
+//     holding a mutex — the class of bug behind PR 1's close-of-closed-channel
+//     worker panic (analyzer lockedblock).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis (Analyzer
+// / Pass / Diagnostic) but is built on the standard library alone, because
+// this module carries no third-party dependencies. cmd/kagura-vet is the
+// multichecker driver; linttest is the analysistest-style fixture runner.
+//
+// # Suppression
+//
+// A finding is suppressed by an annotation on the same line or the line
+// immediately above it:
+//
+//	//kagura:allow <check>[,<check>...] <reason>
+//
+// where <check> is either an analyzer name ("lockedblock") or one of
+// simdeterminism's sub-checks ("goroutine", "time", "rand", "env"). The
+// reason is free text and should say why the invariant holds anyway.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //kagura:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the analysis, reporting findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SimDeterminism, LockedBlock, MapIterOrder, FloatEq}
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Check    string // sub-check name matched against //kagura:allow
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only; test files are exempt by design
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	allow    map[string]map[int][]string // filename → line → allowed checks
+	diags    *[]Diagnostic
+}
+
+// NewPass assembles a Pass for one analyzer over a loaded package, appending
+// findings to diags. Suppression comments are indexed once per call.
+func NewPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+	p := &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		analyzer: a,
+		allow:    make(map[string]map[int][]string),
+		diags:    diags,
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//kagura:allow ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					p.allow[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding unless a //kagura:allow annotation for check (or
+// for the whole analyzer) covers its line or the line above.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allow[position.Filename]; ok {
+		for _, line := range []int{position.Line, position.Line - 1} {
+			for _, name := range lines[line] {
+				if name == check || name == p.analyzer.Name {
+					return
+				}
+			}
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer.Name,
+		Check:    check,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil when untypechecked.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type { return p.Info.TypeOf(expr) }
+
+// FuncOf resolves the called function of a call expression (a *types.Func for
+// both plain and method calls), or nil for builtins, conversions, and calls
+// through function-typed values.
+func (p *Pass) FuncOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RunAnalyzers applies every analyzer to pkg and returns the new findings.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if err := a.Run(NewPass(a, pkg, &diags)); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by position then analyzer, so output is
+// stable regardless of analyzer-internal iteration order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedBlock flags operations that can block indefinitely while a
+// sync.Mutex or sync.RWMutex is held — the bug class behind PR 1's worker
+// panic, where a channel send under the simsvc mutex deadlocked against the
+// worker pool and a "fix" closed an already-closed channel.
+//
+// Within each function it tracks the set of locks held (x.Lock() … x.Unlock(),
+// with defer x.Unlock() pinning the lock to function exit) and reports, inside
+// held regions:
+//
+//   - channel sends, receives, and ranges over channels;
+//   - select statements with no default clause (a select WITH a default is
+//     non-blocking and stays legal — simsvc's queue fast-path);
+//   - sync.WaitGroup.Wait and time.Sleep;
+//   - calls to same-package functions that themselves block (one level of
+//     interprocedural summary, computed to a fixpoint over the package).
+//
+// sync.Cond.Wait is deliberately NOT flagged: its contract requires holding
+// the associated lock. Function literals are separate scopes: code inside a
+// spawned or deferred closure does not execute under the spawning statement's
+// locks, and blocking there is the closure's own business.
+var LockedBlock = &Analyzer{
+	Name: "lockedblock",
+	Doc:  "flag blocking operations (channel ops, Wait, blocking select) reachable while a sync mutex is held",
+	Run:  runLockedBlock,
+}
+
+// blockOp is one potentially-blocking operation found in a function body.
+type blockOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// funcSummary is the per-function interprocedural summary: the first direct
+// blocking operation (if any) and the same-package callees to propagate from.
+type funcSummary struct {
+	name   string
+	direct []blockOp
+	calls  []calleeRef
+	blocks *blockOp // resolved by the fixpoint; nil ⇒ never blocks
+}
+
+type calleeRef struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+func runLockedBlock(pass *Pass) error {
+	// Pass 1: per-function summaries for this package's declared functions.
+	summaries := make(map[*types.Func]*funcSummary)
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &funcSummary{name: fd.Name.Name}
+			collectOps(pass, fd.Body, s)
+			summaries[fn] = s
+			decls = append(decls, fd)
+		}
+	}
+
+	// Fixpoint: a function blocks if it has a direct blocking op or calls a
+	// same-package function that blocks. Visit in declaration order so the
+	// resolved reason (which callee gets blamed) is the same every run.
+	ordered := make([]*funcSummary, 0, len(decls))
+	for _, fd := range decls {
+		s := summaries[pass.Info.Defs[fd.Name].(*types.Func)]
+		ordered = append(ordered, s)
+		if len(s.direct) > 0 {
+			s.blocks = &s.direct[0]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range ordered {
+			if s.blocks != nil {
+				continue
+			}
+			for _, c := range s.calls {
+				callee := summaries[c.fn]
+				if callee != nil && callee.blocks != nil {
+					op := blockOp{pos: c.pos, desc: fmt.Sprintf("call to %s (which %s)", callee.name, callee.blocks.desc)}
+					s.blocks = &op
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: scan lock-held regions.
+	for _, fd := range decls {
+		lb := &lockScanner{pass: pass, summaries: summaries}
+		lb.scanStmts(fd.Body.List, map[string]token.Pos{})
+	}
+	return nil
+}
+
+// collectOps gathers the potentially-blocking operations and same-package
+// call edges directly inside n, honoring the scope rules: function literals
+// are skipped, a select with a default makes its comm-clause channel ops
+// non-blocking, and calls inside go/defer statements run outside the current
+// lock region.
+func collectOps(pass *Pass, n ast.Node, s *funcSummary) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				collectOps(pass, arg, s)
+			}
+			return false
+		case *ast.DeferStmt:
+			for _, arg := range n.Call.Args {
+				collectOps(pass, arg, s)
+			}
+			return false
+		case *ast.SendStmt:
+			s.direct = append(s.direct, blockOp{n.Arrow, "sends on a channel"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.direct = append(s.direct, blockOp{n.OpPos, "receives from a channel"})
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					s.direct = append(s.direct, blockOp{n.For, "ranges over a channel"})
+				}
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				// Non-blocking: skip the comm statements themselves but keep
+				// scanning the clause bodies, which run unconditionally once
+				// a case fires.
+				for _, clause := range n.Body.List {
+					for _, st := range clause.(*ast.CommClause).Body {
+						collectOps(pass, st, s)
+					}
+				}
+				return false
+			}
+			s.direct = append(s.direct, blockOp{n.Select, "blocks in a select with no default"})
+			// Comm statements are part of the blocking select; only the
+			// bodies need separate scanning, and Inspect will reach them.
+			return true
+		case *ast.CallExpr:
+			if fn := pass.FuncOf(n); fn != nil {
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Wait":
+					s.direct = append(s.direct, blockOp{n.Pos(), "waits on a sync.WaitGroup"})
+				case "time.Sleep":
+					s.direct = append(s.direct, blockOp{n.Pos(), "sleeps"})
+				default:
+					if fn.Pkg() == pass.Pkg {
+						s.calls = append(s.calls, calleeRef{fn, n.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if clause.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lockScanner walks a function body tracking which mutexes are held.
+type lockScanner struct {
+	pass      *Pass
+	summaries map[*types.Func]*funcSummary
+}
+
+// mutexLockMethods maps the sync locking methods to whether they acquire
+// (true) or release (false).
+var mutexLockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).TryLock":   true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.Mutex).Unlock":    false,
+	"(*sync.RWMutex).Unlock":  false,
+	"(*sync.RWMutex).RUnlock": false,
+}
+
+// lockCall decodes stmt as a mutex Lock/Unlock call, returning the receiver
+// expression rendered as a string (the lock's identity).
+func (lb *lockScanner) lockCall(call *ast.CallExpr) (recv string, acquire, ok bool) {
+	fn := lb.pass.FuncOf(call)
+	if fn == nil {
+		return "", false, false
+	}
+	acquire, ok = mutexLockMethods[fn.FullName()]
+	if !ok {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		// Method value / embedded promotion through the receiver itself
+		// (m.Lock() with m a Mutex is still a SelectorExpr; a bare Lock()
+		// inside a method with embedded Mutex is an Ident).
+		return "<receiver>", acquire, true
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+// scanStmts walks a statement list with the current held-lock set, returning
+// the set at fall-through exit.
+func (lb *lockScanner) scanStmts(stmts []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, st := range stmts {
+		held = lb.scanStmt(st, held)
+	}
+	return held
+}
+
+func (lb *lockScanner) scanStmt(st ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if recv, acquire, ok := lb.lockCall(call); ok {
+				if acquire {
+					held[recv] = call.Pos()
+				} else {
+					delete(held, recv)
+				}
+				return held
+			}
+		}
+		lb.flag(s, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return, after every statement we are
+		// scanning: the lock stays held for the rest of the body. Any other
+		// deferred call runs outside this region; ignore it.
+	case *ast.GoStmt:
+		lb.flag(s, held) // arg evaluation only; collectOps skips the spawned body
+	case *ast.BlockStmt:
+		return lb.scanStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return lb.scanStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = lb.scanStmt(s.Init, held)
+		}
+		lb.flag(s.Cond, held)
+		branches := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			branches = append(branches, []ast.Stmt{s.Else})
+		} else {
+			branches = append(branches, nil) // implicit fall-through branch
+		}
+		return lb.mergeBranches(branches, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = lb.scanStmt(s.Init, held)
+		}
+		lb.flag(s.Cond, held)
+		lb.flag(s.Post, held)
+		lb.scanStmts(s.Body.List, copyHeld(held))
+		return held
+	case *ast.RangeStmt:
+		lb.flag(s.X, held)
+		if len(held) > 0 {
+			if t := lb.pass.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lb.report(s.For, "ranges over a channel", held)
+				}
+			}
+		}
+		lb.scanStmts(s.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = lb.scanStmt(s.Init, held)
+		}
+		lb.flag(s.Tag, held)
+		return lb.mergeCaseClauses(s.Body.List, held, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = lb.scanStmt(s.Init, held)
+		}
+		return lb.mergeCaseClauses(s.Body.List, held, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lb.report(s.Select, "blocks in a select with no default", held)
+		}
+		var branches [][]ast.Stmt
+		for _, clause := range s.Body.List {
+			branches = append(branches, clause.(*ast.CommClause).Body)
+		}
+		return lb.mergeBranches(branches, held)
+	default:
+		lb.flag(st, held)
+	}
+	return held
+}
+
+// mergeCaseClauses scans switch case bodies as branches; without a default
+// clause the switch can fall through unscathed, which counts as an extra
+// branch that changes nothing.
+func (lb *lockScanner) mergeCaseClauses(clauses []ast.Stmt, held map[string]token.Pos, hasDefault bool) map[string]token.Pos {
+	var branches [][]ast.Stmt
+	for _, clause := range clauses {
+		branches = append(branches, clause.(*ast.CaseClause).Body)
+	}
+	if !hasDefault {
+		branches = append(branches, nil)
+	}
+	return lb.mergeBranches(branches, held)
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, clause := range clauses {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeBranches scans each branch with its own copy of the held set and
+// returns the must-hold intersection over branches that fall through
+// (branches ending in return/break/continue/goto/panic don't constrain the
+// code after the statement).
+func (lb *lockScanner) mergeBranches(branches [][]ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	exits := make([]map[string]token.Pos, 0, len(branches))
+	for _, b := range branches {
+		exit := lb.scanStmts(b, copyHeld(held))
+		if !terminates(b) {
+			exits = append(exits, exit)
+		}
+	}
+	if len(exits) == 0 {
+		return map[string]token.Pos{}
+	}
+	merged := copyHeld(exits[0])
+	for name := range merged {
+		for _, e := range exits[1:] {
+			if _, ok := e[name]; !ok {
+				delete(merged, name)
+				break
+			}
+		}
+	}
+	return merged
+}
+
+// terminates reports whether a statement list definitely transfers control
+// out (so its lock-set cannot reach the following statement).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flag reports every blocking operation directly inside n (per collectOps
+// scope rules) when locks are held.
+func (lb *lockScanner) flag(n ast.Node, held map[string]token.Pos) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	var s funcSummary
+	collectOps(lb.pass, n, &s)
+	for _, op := range s.direct {
+		lb.report(op.pos, op.desc, held)
+	}
+	for _, c := range s.calls {
+		if callee := lb.summaries[c.fn]; callee != nil && callee.blocks != nil {
+			lb.report(c.pos, fmt.Sprintf("calls %s, which %s", callee.name, callee.blocks.desc), held)
+		}
+	}
+}
+
+func (lb *lockScanner) report(pos token.Pos, desc string, held map[string]token.Pos) {
+	// Name the lock acquired first (smallest position) for a stable message.
+	var name string
+	var at token.Pos
+	for n, p := range held {
+		if name == "" || p < at {
+			name, at = n, p
+		}
+	}
+	lb.pass.Reportf(pos, "lockedblock",
+		"%s while holding %s (locked at %s); blocking under a mutex stalls every other service path — release the lock first or make the operation non-blocking",
+		desc, name, lb.pass.Fset.Position(at))
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestLockedBlock runs the fixture covering direct blocking ops under held
+// mutexes, defer-held locks, branch-sensitive release, interprocedural
+// propagation, and the legal patterns (select-with-default, cond.Wait,
+// spawned closures, annotations).
+func TestLockedBlock(t *testing.T) {
+	linttest.Run(t, lint.LockedBlock, "testdata/src/lockedblock", "kagura/internal/lint/fixture/lockedblock")
+}
+
+// TestLockedBlockOnSimsvc re-runs the analyzer on the real simsvc package:
+// the service must stay free of the PR-1 panic class.
+func TestLockedBlockOnSimsvc(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("kagura/internal/simsvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Analyzer{lint.LockedBlock}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("simsvc regression: %s", d)
+	}
+}

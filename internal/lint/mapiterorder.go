@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterOrder flags map iteration whose (randomized) order can leak into
+// observable output — the bug class behind PR 1's nondeterministically
+// ordered GET /v1/jobs response, and a determinism hazard anywhere results,
+// exports, or hashes are built from maps.
+//
+// A `for … range m` over a map is reported when its body
+//
+//   - writes per-element output: fmt print/Fprint calls, Write/WriteString/
+//     Encode/Sum-style methods (strings.Builder, io.Writer, csv/json
+//     encoders, hash.Hash), io.WriteString; or
+//   - accumulates a string with += ; or
+//   - appends to a slice that is never passed to a sort (sort.*, slices.*,
+//     or any function whose name contains "sort") later in the same
+//     function.
+//
+// Order-insensitive bodies — counting, summing, building another map,
+// key-by-key lookups — are not flagged. The canonical fix is the
+// collect-keys/sort/iterate pattern; where order provably cannot matter,
+// annotate //kagura:allow mapiterorder with the reason.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc:  "flag map iteration feeding writers, hashes, or returned slices without an intervening sort",
+	Run:  runMapIterOrder,
+}
+
+func runMapIterOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Each function body is an independent scope for the "sorted later"
+		// reasoning; nested function literals are scopes of their own.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanMapRanges(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level var x = func(){…} initializers.
+				scanMapRanges(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanMapRanges finds map-range loops directly inside body (descending into
+// nested literals as fresh scopes) and checks each.
+func scanMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			scanMapRanges(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					checkMapRange(pass, body, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange inspects one map-range loop within its enclosing scope.
+func checkMapRange(pass *Pass, scope *ast.BlockStmt, loop *ast.RangeStmt) {
+	mapName := types.ExprString(loop.X)
+	var appends []struct {
+		pos    token.Pos
+		target string
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if desc := sinkCall(pass, n); desc != "" {
+				pass.Reportf(n.Pos(), "mapiterorder",
+					"%s inside iteration over map %s leaks the randomized iteration order into output; iterate sorted keys instead", desc, mapName)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := pass.TypeOf(n.Lhs[0]); t != nil && isString(t) {
+					pass.Reportf(n.Pos(), "mapiterorder",
+						"string accumulation inside iteration over map %s depends on the randomized iteration order; iterate sorted keys instead", mapName)
+				}
+			}
+			if target, pos, ok := appendTarget(n); ok {
+				appends = append(appends, struct {
+					pos    token.Pos
+					target string
+				}{pos, target})
+			}
+		}
+		return true
+	})
+	for _, ap := range appends {
+		if !sortedAfter(pass, scope, loop.End(), ap.target) {
+			pass.Reportf(ap.pos, "mapiterorder",
+				"%s is built from iteration over map %s and never sorted afterwards; its element order changes run to run — sort it (or the keys) before use", ap.target, mapName)
+		}
+	}
+}
+
+// sinkCall classifies call as an output sink, returning a description or "".
+func sinkCall(pass *Pass, call *ast.CallExpr) string {
+	if fn := pass.FuncOf(call); fn != nil {
+		if fn.Pkg() != nil {
+			switch path := fn.Pkg().Path(); {
+			case path == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+				return "fmt." + fn.Name()
+			case path == "io" && fn.Name() == "WriteString":
+				return "io.WriteString"
+			}
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll", "Encode", "Sum",
+				"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "method " + fn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// appendTarget decodes x = append(x, …) / x := append(x, …), returning the
+// destination rendered as a string.
+func appendTarget(assign *ast.AssignStmt) (target string, pos token.Pos, ok bool) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return "", 0, false
+	}
+	call, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+		return "", 0, false
+	}
+	return types.ExprString(assign.Lhs[0]), assign.Pos(), true
+}
+
+// sortedAfter reports whether scope contains, after pos, a sort-ish call
+// mentioning target: any function in package sort or slices, or any function
+// or method whose name contains "sort" (case-insensitive), with target among
+// its arguments or as its receiver.
+func sortedAfter(pass *Pass, scope *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortish(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && types.ExprString(sel.X) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortish(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.FuncOf(call)
+	if fn == nil {
+		// Calls through function values: fall back to the spelled name.
+		return strings.Contains(strings.ToLower(types.ExprString(call.Fun)), "sort")
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

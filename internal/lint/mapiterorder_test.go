@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestMapIterOrder runs the fixture: sinks and unsorted collected slices
+// inside map iteration are flagged; counting, keyed rebuilds, the
+// collect-sort-iterate pattern, and annotations pass.
+func TestMapIterOrder(t *testing.T) {
+	linttest.Run(t, lint.MapIterOrder, "testdata/src/mapiterorder", "kagura/internal/lint/fixture/mapiterorder")
+}

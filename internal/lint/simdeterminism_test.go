@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestSimDeterminismCore checks the fixture under a deterministic-core import
+// path: every wall-clock read, rand use, env read, and goroutine spawn must
+// be flagged, and the annotated goroutine plus time arithmetic must pass.
+func TestSimDeterminismCore(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "testdata/src/simdeterminism/core", "kagura/internal/ehs")
+}
+
+// TestSimDeterminismServiceExempt checks the same class of constructs under a
+// service-layer import path, where the analyzer must stay silent.
+func TestSimDeterminismServiceExempt(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "testdata/src/simdeterminism/svc", "kagura/internal/simsvc")
+}
+
+// TestCorePackagesExist pins the core-package list to real directories, so a
+// future package rename can't silently drop a package out of enforcement.
+func TestCorePackagesExist(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		have[p] = true
+	}
+	for _, core := range lint.CorePackages {
+		if !have[core] {
+			t.Errorf("CorePackages lists %s, which does not exist in the module", core)
+		}
+	}
+	for _, exempt := range []string{"kagura/internal/simsvc", "kagura/internal/rng"} {
+		if lint.IsCorePackage(exempt) {
+			t.Errorf("%s must not be in CorePackages", exempt)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package floateq is a fixture for the float-equality analyzer: exact ==/!=
+// on floats and switches over float tags must be flagged; integer compares,
+// named epsilon helpers, marker-approved helpers, constant folds, and
+// annotated sentinels must pass.
+package floateq
+
+type result struct {
+	Energy float64
+	Cycles int64
+}
+
+func equalEnergy(a, b result) bool {
+	return a.Energy == b.Energy // want `== on floating-point values`
+}
+
+func driftCheck(measured, expected float64) bool {
+	return measured != expected // want `!= on floating-point values`
+}
+
+func narrow(x float32) bool {
+	return x == 1.5 // want `== on floating-point values`
+}
+
+func floatSwitch(ratio float64) string {
+	switch ratio { // want `switch on a floating-point value compares exactly`
+	case 0:
+		return "idle"
+	case 1:
+		return "saturated"
+	}
+	return "partial"
+}
+
+type energy float64
+
+func definedFloat(a, b energy) bool {
+	return a == b // want `== on floating-point values`
+}
+
+// --- Legal patterns: everything below must produce no findings. ---
+
+// cycleEqual compares integers: exactness is the point.
+func cycleEqual(a, b result) bool {
+	return a.Cycles == b.Cycles
+}
+
+// approxEqual is an approved helper by name: the exact comparisons that
+// implement epsilon logic live here.
+func approxEqual(a, b, eps float64) bool {
+	if a == b { // fast path catches infinities
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// bitIdentical is approved via the doc marker rather than its name.
+// kagura:floateq-helper — replay validation needs bit-exact equality.
+func bitIdentical(a, b float64) bool {
+	return a == b
+}
+
+// constantFold compares two compile-time constants; nothing can drift.
+func constantFold() bool {
+	const half = 0.5
+	return half == 0.25*2
+}
+
+// sentinel guards a division with an annotated exact-zero check.
+func sentinel(num, den float64) float64 {
+	if den == 0 { //kagura:allow floateq exact-zero sentinel guards the division; no accumulation involved
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,156 @@
+// Package lockedblock is a fixture exercising every rule of the lockedblock
+// analyzer: direct blocking ops under a held mutex, defer-held locks,
+// branch-sensitive unlocking, one-level interprocedural propagation, and the
+// legal patterns (select with default, blocking after unlock, closures,
+// sync.Cond.Wait).
+package lockedblock
+
+import (
+	"sync"
+	"time"
+)
+
+type service struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	wg    sync.WaitGroup
+	cond  *sync.Cond
+}
+
+func (s *service) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.queue <- v // want `sends on a channel while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *service) recvUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.queue // want `receives from a channel while holding s\.mu`
+}
+
+func (s *service) blockingSelectUnderLock() {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	select { // want `blocks in a select with no default while holding s\.rw`
+	case v := <-s.queue:
+		_ = v
+	case s.queue <- 0:
+	}
+}
+
+func (s *service) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `waits on a sync\.WaitGroup while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *service) sleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `sleeps while holding s\.mu`
+}
+
+func (s *service) rangeChanUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.queue { // want `ranges over a channel while holding s\.mu`
+		_ = v
+	}
+}
+
+// drain blocks (receives); callers holding a lock inherit the finding.
+func (s *service) drain() int {
+	return <-s.queue
+}
+
+// relay blocks transitively through drain: the fixpoint must propagate.
+func (s *service) relay() int {
+	return s.drain() + 1
+}
+
+func (s *service) callBlockingUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.relay() // want `calls relay, which call to drain \(which receives from a channel\)`
+}
+
+// --- Legal patterns: everything below must produce no findings. ---
+
+// nonBlockingSelect mirrors simsvc's queue fast-path: a select with a
+// default never blocks, whatever its comm clauses do.
+func (s *service) nonBlockingSelect(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// unlockFirst releases before blocking.
+func (s *service) unlockFirst(v int) {
+	s.mu.Lock()
+	closed := false
+	s.mu.Unlock()
+	if !closed {
+		s.queue <- v
+	}
+}
+
+// branchUnlock unlocks on every path before the send: the must-hold merge
+// has to notice both branches released.
+func (s *service) branchUnlock(fast bool, v int) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.queue <- v
+}
+
+// earlyReturnBranch releases inside a terminating branch; the lock is still
+// held afterwards on the fall-through path, but nothing blocking follows.
+func (s *service) earlyReturnBranch(done bool) {
+	s.mu.Lock()
+	if done {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// spawnUnderLock hands the blocking work to a new goroutine, which does not
+// run under the spawning statement's lock.
+func (s *service) spawnUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.queue <- v
+	}()
+}
+
+// condWait is the documented exception: sync.Cond.Wait requires the lock.
+func (s *service) condWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Wait()
+}
+
+// annotated shows the escape hatch for a reviewed exception.
+func (s *service) annotated(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v //kagura:allow lockedblock buffered queue sized to worker count; send cannot block
+}
+
+// closeIsNotBlocking: closing a channel never blocks.
+func (s *service) closeIsNotBlocking() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	close(s.queue)
+}

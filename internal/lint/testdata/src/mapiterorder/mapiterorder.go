@@ -1,0 +1,116 @@
+// Package mapiterorder is a fixture for the map-iteration-order analyzer:
+// iteration feeding writers, string accumulation, and unsorted collected
+// slices must be flagged; counting, keyed rebuilds, and the
+// collect-sort-iterate pattern must pass.
+package mapiterorder
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printEach(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside iteration over map m leaks the randomized iteration order`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `method WriteString inside iteration over map m leaks the randomized iteration order`
+	}
+	return b.String()
+}
+
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string accumulation inside iteration over map m depends on the randomized iteration order`
+	}
+	return out
+}
+
+func encodeEach(enc *json.Encoder, m map[string]bool) error {
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want `method Encode inside iteration over map m leaks the randomized iteration order`
+			return err
+		}
+	}
+	return nil
+}
+
+func hashKeys(m map[string]struct{}) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `method Write inside iteration over map m leaks the randomized iteration order`
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys is built from iteration over map m and never sorted afterwards`
+	}
+	return keys
+}
+
+// --- Legal patterns: everything below must produce no findings. ---
+
+// sortedKeys is the canonical fix: collect, sort, iterate.
+func sortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sliceSort accepts sort.Slice with a comparator too.
+func sliceSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// counting is order-independent.
+func counting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuild produces another map: no order leaks.
+func rebuild(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// annotated is the reviewed escape hatch: the write sits inside a map loop
+// but emits the identical byte for every element, so order cannot show.
+func annotated(w io.Writer, m map[string]int) {
+	for range m {
+		//kagura:allow mapiterorder emits one identical byte per element; order-free
+		w.Write([]byte("."))
+	}
+}

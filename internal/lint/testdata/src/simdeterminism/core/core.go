@@ -1,0 +1,65 @@
+// Package core is a simdeterminism fixture typechecked under a core-package
+// import path, so every banned construct must be flagged.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the host clock`
+	time.Sleep(time.Second)  // want `time\.Sleep reads the host clock`
+	return time.Since(start) // want `time\.Since reads the host clock`
+}
+
+func timers() {
+	t := time.NewTimer(time.Millisecond) // want `time\.NewTimer reads the host clock`
+	<-t.C
+	<-time.After(time.Millisecond) // want `time\.After reads the host clock`
+}
+
+func randomness() int {
+	rand.Seed(42)                    // want `math/rand\.Seed breaks reproducibility`
+	r := rand.New(rand.NewSource(1)) // want `math/rand\.New breaks reproducibility` `math/rand\.NewSource breaks reproducibility`
+	_ = r.Intn(10)                   // want `math/rand\.Intn breaks reproducibility`
+	return rand.Intn(10)             // want `math/rand\.Intn breaks reproducibility`
+}
+
+func environment() string {
+	if v, ok := os.LookupEnv("KAGURA_MODE"); ok { // want `os\.LookupEnv makes results depend on the process environment`
+		return v
+	}
+	return os.Getenv("KAGURA_MODE") // want `os\.Getenv makes results depend on the process environment`
+}
+
+func spawn(done chan struct{}) {
+	go func() { // want `goroutine spawn in deterministic core package`
+		close(done)
+	}()
+}
+
+// allowedSpawn shows the sanctioned escape hatch: the annotation names the
+// check and argues why determinism survives.
+func allowedSpawn(results []int) {
+	done := make(chan struct{})
+	//kagura:allow goroutine fan-out joins before aggregation; per-index writes are order-independent
+	go func() {
+		results[0] = 1
+		close(done)
+	}()
+	<-done
+}
+
+// legalTimeArithmetic shows that Duration/Time arithmetic on values that
+// arrived as explicit inputs stays legal — only acquiring clock state is
+// banned.
+func legalTimeArithmetic(a, b time.Time, d time.Duration) time.Duration {
+	return b.Sub(a) + d*2
+}
+
+func output() {
+	fmt.Println("printing is fine; determinism bans entropy sources, not I/O")
+}

@@ -1,0 +1,31 @@
+// Package svc is a simdeterminism fixture typechecked under a service-layer
+// import path (kagura/internal/simsvc), which is exempt: the same constructs
+// that light up the core fixture must produce zero findings here.
+package svc
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func latency() time.Duration {
+	start := time.Now()
+	defer func() { _ = time.Since(start) }()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+func jitter() int { return rand.Intn(10) }
+
+func fromEnv() string { return os.Getenv("PORT") }
+
+func workers(jobs chan func()) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for job := range jobs {
+				job()
+			}
+		}()
+	}
+}

@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+)
+
+// TestRepositoryClean runs the full analyzer suite over every package in the
+// module — the same gate as CI's `go run ./cmd/kagura-vet ./...` — so a
+// finding fails plain `go test ./...` too, not just the vet job.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is slow; run without -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("pattern expansion found only %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzers(lint.All(), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+}

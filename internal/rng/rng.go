@@ -97,7 +97,7 @@ func (r *Source) NormFloat64() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
-		if s >= 1 || s == 0 {
+		if s >= 1 || s == 0 { //kagura:allow floateq polar-method rejection needs the exact-zero bound
 			continue
 		}
 		// math.Sqrt/Log avoided to keep the package dependency-free would be

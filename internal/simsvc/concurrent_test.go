@@ -1,0 +1,223 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusByteStable pins the determinism contract behind /metrics:
+// rendering the same snapshot repeatedly yields byte-identical text with a
+// fixed line order, so scrapes diff cleanly and the mapiterorder analyzer's
+// invariant holds at the wire.
+func TestPrometheusByteStable(t *testing.T) {
+	snap := MetricsSnapshot{
+		JobsRun: 3, JobsCached: 2, JobsFailed: 1, JobsCanceled: 4,
+		QueueDepth: 5, Workers: 2, CachedKeys: 7,
+		QueueSecondsTotal: 0.25, QueueSamples: 6,
+		RunSecondsTotal: 1.5, RunSamples: 3,
+	}
+	first := snap.Prometheus()
+	for i := 0; i < 20; i++ {
+		if again := snap.Prometheus(); again != first {
+			t.Fatalf("Prometheus output unstable:\n--- first\n%s\n--- run %d\n%s", first, i, again)
+		}
+	}
+	for _, want := range []string{
+		`kagura_jobs_total{status="run"} 3`,
+		`kagura_jobs_total{status="cached"} 2`,
+		"kagura_queue_depth 5",
+		"kagura_cached_keys 7",
+		`kagura_stage_seconds_total{stage="queue"} 0.25`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("missing %q in:\n%s", want, first)
+		}
+	}
+}
+
+// jobsTotal scrapes /metrics and returns the sum of the kagura_jobs_total
+// series, erroring on unparseable exposition lines. It returns an error
+// rather than failing the test because pollers call it off the test
+// goroutine.
+func jobsTotal(url string) (int64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return 0, fmt.Errorf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return 0, fmt.Errorf("non-numeric sample %q: %v", line, err)
+		}
+		if strings.HasPrefix(name, "kagura_jobs_total{") {
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("non-integer counter %q: %v", line, err)
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+// TestJobsAndMetricsUnderConcurrentSubmissions hammers GET /v1/jobs and
+// GET /metrics while submissions race in, checking the two invariants PR 1
+// fixed: the job listing is strictly newest-first, and the counters only go
+// up. Run with -race to make the lock coverage part of the assertion.
+func TestJobsAndMetricsUnderConcurrentSubmissions(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	const submitters, jobsPerSubmitter, pollers = 4, 6, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters+2*pollers)
+	stop := make(chan struct{})
+
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerSubmitter; i++ {
+				spec := quickSpec()
+				spec.Seed = uint64(1 + g*jobsPerSubmitter + i) // distinct cache keys
+				blob, _ := json.Marshal(spec)
+				resp, err := http.Post(srv.URL+"/v1/run?async=1", "application/json", strings.NewReader(string(blob)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("async submit: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Pollers race the submitters: /v1/jobs must list IDs strictly
+	// descending in every snapshot, no matter what is in flight.
+	for g := 0; g < pollers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/v1/jobs")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body struct {
+					Jobs []JobStatus `json:"jobs"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 1; i < len(body.Jobs); i++ {
+					if body.Jobs[i-1].ID <= body.Jobs[i].ID {
+						errs <- fmt.Errorf("jobs out of order: %s before %s", body.Jobs[i-1].ID, body.Jobs[i].ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Metrics pollers: every scrape parses, and kagura_jobs_total is
+	// monotonic within each poller's sequence of observations.
+	for g := 0; g < pollers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				total, err := jobsTotal(srv.URL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if total < last {
+					errs <- fmt.Errorf("kagura_jobs_total went backwards: %d after %d", total, last)
+					return
+				}
+				last = total
+			}
+		}()
+	}
+
+	// Wait for every submission to reach a terminal state.
+	deadline := time.Now().Add(30 * time.Second)
+	wantJobs := submitters * jobsPerSubmitter
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Jobs []JobStatus `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		settled := 0
+		for _, j := range body.Jobs {
+			if j.State == StateDone || j.State == StateFailed || j.State == StateCanceled {
+				settled++
+			}
+		}
+		if settled == wantJobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs settled before deadline", settled, wantJobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	total, err := jobsTotal(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < int64(wantJobs) {
+		t.Fatalf("kagura_jobs_total = %d, want >= %d", total, wantJobs)
+	}
+}

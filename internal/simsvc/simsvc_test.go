@@ -347,7 +347,16 @@ func TestQueueBackpressure(t *testing.T) {
 		key := []string{"bp-a", "bp-b"}[i]
 		go func(key string) {
 			submitted <- struct{}{}
-			svc.Do(context.Background(), key, blocker)
+			// Retry ErrQueueFull: the two submissions race the worker's
+			// pickup, so the second can land while the first still occupies
+			// the single queue slot.
+			for {
+				_, _, err := svc.Do(context.Background(), key, blocker)
+				if !errors.Is(err, ErrQueueFull) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 			done <- struct{}{}
 		}(key)
 	}

@@ -74,7 +74,7 @@ func (sp RunSpec) Normalize() (RunSpec, error) {
 	if sp.App != "" && len(sp.Workload) > 0 {
 		return out, fmt.Errorf("simsvc: app and workload are mutually exclusive")
 	}
-	if out.Scale == 0 {
+	if out.Scale == 0 { //kagura:allow floateq exact zero marks "field unset" in the wire format
 		out.Scale = 1
 	}
 	if out.Scale < 0 {

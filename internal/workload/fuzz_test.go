@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromJSON throws arbitrary bytes at the user-facing workload parser
+// (kagura-sim -workload, simsvc inline workloads). Invalid input must be
+// rejected with an error — never a panic — and any accepted definition must
+// reach a fixed point: serialize → reparse → serialize is byte-identical,
+// which is what simsvc's cache-key canonicalization relies on.
+func FuzzFromJSON(f *testing.F) {
+	f.Add([]byte(`{
+	  "name": "my-sensor",
+	  "seed": 42,
+	  "regions": [
+	    {"base": 268435456, "sizeWords": 64, "hotWords": 64, "class": "narrow"}
+	  ],
+	  "phases": [
+	    {
+	      "iterations": 10000,
+	      "codeBase": 65536,
+	      "codeWords": 48,
+	      "body": ["arith", "load hot 0", "arith", "store seq 0"]
+	    }
+	  ]
+	}`))
+	f.Add([]byte(`{"name":"x","regions":[{"base":268435456,"sizeWords":8,"class":"zeros"}],` +
+		`"phases":[{"iterations":1,"codeBase":4096,"body":["store rand 0"]}]}`))
+	f.Add([]byte(`{"name":"jpeg"}`))        // shadows a built-in
+	f.Add([]byte(`{"name":"y","seed":-1}`)) // type mismatch
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, err := FromJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly; that is the contract for bad input
+		}
+
+		var first bytes.Buffer
+		if err := app.ToJSON(&first); err != nil {
+			t.Fatalf("ToJSON on accepted app: %v", err)
+		}
+		again, err := FromJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized form rejected by FromJSON: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := again.ToJSON(&second); err != nil {
+			t.Fatalf("ToJSON on reparsed app: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip not a fixed point:\n--- first\n%s\n--- second\n%s",
+				first.String(), second.String())
+		}
+
+		// Spot-check the instruction generator on accepted inputs. Keep the
+		// probe count tiny: the fuzzer controls Iterations, so Len() can be
+		// enormous (or overflow to negative) without being wrong to parse.
+		if n := app.Len(); n > 0 {
+			for _, i := range []int64{0, n / 2, n - 1} {
+				ins := app.At(i)
+				if ins.IsStore && !ins.IsMem {
+					t.Fatalf("At(%d): store that is not a memory op", i)
+				}
+			}
+		}
+	})
+}

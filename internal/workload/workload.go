@@ -324,7 +324,7 @@ func (a *App) MemOpFraction() float64 {
 // ArithmeticIntensity returns arithmetic ops per memory op (Fig 17's x-axis).
 func (a *App) ArithmeticIntensity() float64 {
 	f := a.MemOpFraction()
-	if f == 0 {
+	if f == 0 { //kagura:allow floateq exact-zero division guard
 		return 0
 	}
 	return (1 - f) / f
