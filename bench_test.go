@@ -11,12 +11,15 @@ package kagura_test
 // full-fidelity numbers use `go run ./cmd/kagura-bench` instead.
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"sync"
 	"testing"
 
 	"kagura"
+	"kagura/internal/ckpt"
+	"kagura/internal/ehs"
 )
 
 var benchVerbose = flag.Bool("bench.tables", true, "print each experiment's table during benchmarks")
@@ -113,4 +116,94 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		committed += res.Committed
 	}
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// benchSweepSpecs returns a base spec plus its R_thres-policy sweep variants
+// — the shared-warm-prefix shape the warm-start cache accelerates.
+func benchSweepSpecs() []kagura.RunSpec {
+	base := kagura.RunSpec{
+		App: "jpeg", Trace: "RFHome", Seed: 1, Scale: 1.0,
+		Codec: "BDI", ACC: true, Kagura: true, Policy: "AIMD", Trigger: "mem",
+	}
+	variants := []kagura.RunSpec{base}
+	for _, p := range []string{"MIAD", "AIAD", "MIMD"} {
+		v := base
+		v.Policy = p
+		variants = append(variants, v)
+	}
+	return variants
+}
+
+// benchSweepCycles picks the fork point for benchSweepSpecs: half the base
+// run's cycle count (5ns core cycles).
+func benchSweepCycles(b *testing.B) int64 {
+	b.Helper()
+	cfg, err := benchSweepSpecs()[0].Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := kagura.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return int64(res.ExecSeconds/5e-9) / 2
+}
+
+// BenchmarkSnapshotEncode measures the cost of serializing a mid-run
+// simulator snapshot to the versioned internal/ckpt binary format.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	cfg, err := benchSweepSpecs()[0].Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := ehs.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.RunToCycle(context.Background(), benchSweepCycles(b)); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bytesOut int
+	for i := 0; i < b.N; i++ {
+		blob, err := ckpt.Encode(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = len(blob)
+	}
+	b.ReportMetric(float64(bytesOut), "snapshot-bytes")
+}
+
+// BenchmarkWarmStartSweep times a 4-point policy sweep submitted as one
+// batch, cold (every run simulates from cycle 0) vs. warm (variants fork
+// from one shared mid-run checkpoint). The warm/cold ns/op ratio is the
+// wall-clock win of warm-starting; kagura_warm_* counters in /metrics track
+// the same reuse in production.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	specs := benchSweepSpecs()
+	cycles := benchSweepCycles(b)
+	runBatch := func(b *testing.B, fork *kagura.ForkPoint) {
+		opts := kagura.DefaultServiceOptions()
+		opts.Workers = 4
+		for i := 0; i < b.N; i++ {
+			svc := kagura.NewService(opts)
+			jobs, err := svc.SubmitBatchFork(specs, fork)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, j := range jobs {
+				if _, err := j.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			svc.Close()
+		}
+	}
+	b.Run("cold", func(b *testing.B) { runBatch(b, nil) })
+	b.Run("warm", func(b *testing.B) { runBatch(b, &kagura.ForkPoint{Cycles: cycles}) })
 }

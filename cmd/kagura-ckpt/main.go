@@ -1,0 +1,217 @@
+// Command kagura-ckpt takes, inspects, and compares simulator checkpoints.
+//
+// Usage:
+//
+//	kagura-ckpt take -cycle 450000 -o mid.ckpt -app jpeg -codec BDI -acc
+//	kagura-ckpt describe mid.ckpt
+//	kagura-ckpt diff mid.ckpt other.ckpt
+//	kagura-ckpt resume -app jpeg -codec BDI -acc mid.ckpt
+//
+// take runs a configuration (same spec flags as kagura-sim) to a cycle bound
+// and writes the encoded snapshot. describe prints a human-readable summary.
+// diff reports every field-level difference between two checkpoints and exits
+// non-zero when they differ. resume restores a checkpoint into a fresh
+// simulator built from the given spec flags and runs it to completion —
+// under the original config this reproduces the uninterrupted run exactly;
+// under a variant config it forks the warm prefix (sweep warm-start).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"kagura"
+	"kagura/internal/ckpt"
+	"kagura/internal/ehs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "take":
+		cmdTake(os.Args[2:])
+	case "describe":
+		cmdDescribe(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "resume":
+		cmdResume(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kagura-ckpt: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `kagura-ckpt manages simulator checkpoints.
+
+Commands:
+  take      run a configuration to a cycle bound and write a checkpoint
+  describe  print a human-readable summary of a checkpoint file
+  diff      compare two checkpoint files field by field (exit 1 if they differ)
+  resume    restore a checkpoint and run it to completion
+
+Run "kagura-ckpt <command> -h" for the command's flags.
+`)
+}
+
+// specFlags registers the kagura-sim spec flags on fs and returns a closure
+// that assembles the normalized RunSpec after fs.Parse.
+func specFlags(fs *flag.FlagSet) func() (kagura.RunSpec, error) {
+	var (
+		appName  = fs.String("app", "jpeg", "workload name")
+		appFile  = fs.String("workload", "", "JSON workload definition file (overrides -app)")
+		traceSrc = fs.String("trace", "RFHome", "ambient source: RFHome, Solar, Thermal")
+		seed     = fs.Uint64("seed", 1, "power-trace seed")
+		scale    = fs.Float64("scale", 1.0, "workload length scale")
+		codec    = fs.String("codec", "", "compression algorithm: BDI, FPC, C-Pack, DZC (empty = none)")
+		useACC   = fs.Bool("acc", false, "gate compression behind the ACC predictor")
+		useKag   = fs.Bool("kagura", false, "enable the Kagura controller")
+		trigger  = fs.String("trigger", "mem", "Kagura trigger: mem or vol")
+		policy   = fs.String("policy", "AIMD", "R_thres policy: AIMD, MIAD, AIAD, MIMD")
+		design   = fs.String("design", "NVSRAMCache", "EHS design: NVSRAMCache, NvMR, SweepCache")
+		decay    = fs.Int64("decay", 0, "EDBP cache-decay interval in cycles (0 = off)")
+		prefetch = fs.Bool("prefetch", false, "enable the next-line prefetcher")
+	)
+	return func() (kagura.RunSpec, error) {
+		spec := kagura.RunSpec{
+			App:           *appName,
+			Scale:         *scale,
+			Trace:         *traceSrc,
+			Seed:          *seed,
+			Codec:         *codec,
+			ACC:           *useACC && *codec != "",
+			Kagura:        *useKag,
+			Design:        *design,
+			DecayInterval: *decay,
+			Prefetch:      *prefetch,
+		}
+		if *useKag {
+			spec.Policy = *policy
+			spec.Trigger = *trigger
+		}
+		if *appFile != "" {
+			blob, err := os.ReadFile(*appFile)
+			if err != nil {
+				return spec, err
+			}
+			spec.App = ""
+			spec.Workload = blob
+		}
+		return spec.Normalize()
+	}
+}
+
+func cmdTake(args []string) {
+	fs := flag.NewFlagSet("kagura-ckpt take", flag.ExitOnError)
+	cycle := fs.Int64("cycle", 0, "core cycle to run to before snapshotting (required, > 0)")
+	out := fs.String("o", "kagura.ckpt", "output checkpoint file")
+	buildSpec := specFlags(fs)
+	fs.Parse(args)
+	if *cycle <= 0 {
+		fatal(fmt.Errorf("take needs -cycle > 0"))
+	}
+
+	spec, err := buildSpec()
+	fatal(err)
+	cfg, err := spec.Config()
+	fatal(err)
+	sim, err := ehs.New(cfg)
+	fatal(err)
+	completed, err := sim.RunToCycle(context.Background(), *cycle)
+	fatal(err)
+	snap, err := sim.Snapshot()
+	fatal(err)
+	blob, err := ckpt.Encode(snap)
+	fatal(err)
+	fatal(os.WriteFile(*out, blob, 0o644))
+
+	fmt.Printf("wrote %s: %d bytes at cycle %d (pos %d", *out, len(blob), snap.Time, snap.Pos)
+	if completed {
+		fmt.Printf(", program complete")
+	}
+	fmt.Printf(")\nconfig fingerprint: %s\n", snap.ConfigHash)
+}
+
+func cmdDescribe(args []string) {
+	fs := flag.NewFlagSet("kagura-ckpt describe", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("describe needs exactly one checkpoint file"))
+	}
+	snap, err := readCkpt(fs.Arg(0))
+	fatal(err)
+	fmt.Print(ckpt.Describe(snap))
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("kagura-ckpt diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs exactly two checkpoint files"))
+	}
+	a, err := readCkpt(fs.Arg(0))
+	fatal(err)
+	b, err := readCkpt(fs.Arg(1))
+	fatal(err)
+	diffs := ckpt.Diff(a, b)
+	if len(diffs) == 0 {
+		fmt.Println("checkpoints are identical")
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d field(s) differ\n", len(diffs))
+	os.Exit(1)
+}
+
+func cmdResume(args []string) {
+	fs := flag.NewFlagSet("kagura-ckpt resume", flag.ExitOnError)
+	buildSpec := specFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("resume needs exactly one checkpoint file"))
+	}
+	snap, err := readCkpt(fs.Arg(0))
+	fatal(err)
+	spec, err := buildSpec()
+	fatal(err)
+	cfg, err := spec.Config()
+	fatal(err)
+	if cfg.Fingerprint() != snap.ConfigHash {
+		fmt.Fprintf(os.Stderr, "kagura-ckpt: config differs from the checkpoint's source — forking the warm prefix onto the variant config\n")
+	}
+	res, err := ehs.RunFrom(context.Background(), snap, cfg)
+	fatal(err)
+
+	fmt.Printf("resumed from cycle %d\n", snap.Time)
+	fmt.Printf("completed:    %v\n", res.Completed)
+	fmt.Printf("exec time:    %.3f ms\n", res.ExecSeconds*1e3)
+	fmt.Printf("committed:    %d instructions (%d executed)\n", res.Committed, res.Executed)
+	fmt.Printf("power cycles: %d\n", res.PowerCycles)
+	fmt.Printf("energy total: %.3f µJ\n", res.Energy.Total()*1e6)
+}
+
+func readCkpt(path string) (*ehs.Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ckpt.Decode(blob)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kagura-ckpt:", err)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,8 @@
 // New blocks are stored compressed while the GCP is positive.
 package acc
 
+import "fmt"
+
 // Config parameterizes the predictor.
 type Config struct {
 	// Bits is the saturating counter width (original design: a wide counter;
@@ -87,3 +89,32 @@ func (p *Predictor) OnPenalizedHit() {
 // Reset clears the counter (power failure: the GCP is volatile state that is
 // not worth checkpointing; it re-learns within a few accesses).
 func (p *Predictor) Reset() { p.counter = 0 }
+
+// Snapshot is the predictor's full mutable state, exported for the simulator
+// checkpoint subsystem (internal/ckpt).
+type Snapshot struct {
+	Counter       int
+	AvoidedMisses int64
+	PenalizedHits int64
+}
+
+// Snapshot captures the GCP counter and event statistics.
+func (p *Predictor) Snapshot() Snapshot {
+	return Snapshot{Counter: p.counter, AvoidedMisses: p.AvoidedMisses, PenalizedHits: p.PenalizedHits}
+}
+
+// Restore overwrites the predictor state from a snapshot. A counter outside
+// this predictor's saturating range, or negative event counts, indicate a
+// corrupt or incompatible checkpoint and are rejected.
+func (p *Predictor) Restore(snap Snapshot) error {
+	if snap.Counter < p.min || snap.Counter > p.max {
+		return fmt.Errorf("acc: snapshot counter %d outside saturating range [%d, %d]", snap.Counter, p.min, p.max)
+	}
+	if snap.AvoidedMisses < 0 || snap.PenalizedHits < 0 {
+		return fmt.Errorf("acc: negative snapshot event counts %+v", snap)
+	}
+	p.counter = snap.Counter
+	p.AvoidedMisses = snap.AvoidedMisses
+	p.PenalizedHits = snap.PenalizedHits
+	return nil
+}

@@ -1,0 +1,180 @@
+package cache
+
+import "fmt"
+
+// This file is the cache's checkpoint surface (internal/ckpt): an exported,
+// deep-copied value representation of the full mutable state — tags, data,
+// compression metadata, LRU order, shadow tags, event counters, and the
+// ReplRandom victim stream — plus a validating Restore so a malformed or
+// hostile snapshot can never panic the cache or violate its invariants.
+
+// LineState is one tag+data entry in a cache snapshot. Data always holds the
+// raw (decompressed) block contents, mirroring the in-memory organization.
+type LineState struct {
+	Valid      bool
+	Addr       uint32
+	Dirty      bool
+	Compressed bool
+	Segments   int
+	LastUse    int64
+	Data       []byte
+}
+
+// SetState is one set: its tag entries, LRU order (line indices, MRU first),
+// and shadow tags (recently evicted block addresses, oldest first).
+type SetState struct {
+	Lines  []LineState
+	Order  []int
+	Shadow []uint32
+}
+
+// State is the cache's full mutable state.
+type State struct {
+	Sets       []SetState
+	Stats      Stats
+	VictimSeed uint64
+}
+
+// Snapshot captures the cache's complete state. All slices are deep copies;
+// the snapshot stays valid as the cache mutates.
+func (c *Cache) Snapshot() State {
+	st := State{
+		Sets:       make([]SetState, len(c.sets)),
+		Stats:      c.stats,
+		VictimSeed: c.victimSeed,
+	}
+	for si := range c.sets {
+		s := &c.sets[si]
+		ss := SetState{
+			Lines:  make([]LineState, len(s.lines)),
+			Order:  append([]int(nil), s.order...),
+			Shadow: append([]uint32(nil), s.shadow...),
+		}
+		for li := range s.lines {
+			ln := &s.lines[li]
+			ss.Lines[li] = LineState{
+				Valid:      ln.valid,
+				Addr:       ln.addr,
+				Dirty:      ln.dirty,
+				Compressed: ln.compressed,
+				Segments:   ln.segments,
+				LastUse:    ln.lastUse,
+				Data:       append([]byte(nil), ln.data...),
+			}
+		}
+		st.Sets[si] = ss
+	}
+	return st
+}
+
+// Restore overwrites the cache's state from a snapshot taken from a cache
+// with identical geometry. The snapshot is validated in full before anything
+// is applied — on error the cache is untouched — and all slices are
+// deep-copied in. The validation enforces the same invariants
+// checkInvariants asserts, so a decoded checkpoint can never install an
+// inconsistent organization (out-of-range line indices, duplicate blocks,
+// overcommitted segment budgets).
+func (c *Cache) Restore(st State) error {
+	if err := c.validateState(st); err != nil {
+		return err
+	}
+	for si := range c.sets {
+		s := &c.sets[si]
+		ss := &st.Sets[si]
+		for li := range s.lines {
+			ln := &s.lines[li]
+			src := &ss.Lines[li]
+			ln.valid = src.Valid
+			ln.addr = src.Addr
+			ln.dirty = src.Dirty
+			ln.compressed = src.Compressed
+			ln.segments = src.Segments
+			ln.lastUse = src.LastUse
+			copy(ln.data, src.Data)
+			if !src.Valid {
+				// Normalize dead entries so restored state matches what the
+				// cache's own teardown paths leave behind.
+				ln.dirty = false
+				ln.compressed = false
+				ln.segments = 0
+			}
+		}
+		s.order = append(s.order[:0], ss.Order...)
+		s.shadow = append(s.shadow[:0], ss.Shadow...)
+	}
+	c.stats = st.Stats
+	c.victimSeed = st.VictimSeed
+	return nil
+}
+
+// validateState checks a snapshot against this cache's geometry and the
+// organizational invariants, without mutating anything.
+func (c *Cache) validateState(st State) error {
+	if len(st.Sets) != c.numSets {
+		return fmt.Errorf("cache %s: snapshot has %d sets, cache has %d", c.cfg.Name, len(st.Sets), c.numSets)
+	}
+	maxTags := c.cfg.TagFactor * c.cfg.Ways
+	shadowCap := (c.cfg.TagFactor - 1) * c.cfg.Ways
+	if shadowCap <= 0 {
+		shadowCap = c.cfg.Ways
+	}
+	for si := range st.Sets {
+		ss := &st.Sets[si]
+		if len(ss.Lines) != maxTags {
+			return fmt.Errorf("cache %s: set %d snapshot has %d lines, want %d", c.cfg.Name, si, len(ss.Lines), maxTags)
+		}
+		if len(ss.Order) > maxTags || len(ss.Shadow) > shadowCap {
+			return fmt.Errorf("cache %s: set %d snapshot order/shadow overflow", c.cfg.Name, si)
+		}
+		seen := make(map[int]bool, len(ss.Order))
+		addrs := make(map[uint32]bool, len(ss.Order))
+		segs := 0
+		for _, idx := range ss.Order {
+			if idx < 0 || idx >= maxTags {
+				return fmt.Errorf("cache %s: set %d order index %d out of range", c.cfg.Name, si, idx)
+			}
+			if seen[idx] {
+				return fmt.Errorf("cache %s: set %d line %d appears twice in order", c.cfg.Name, si, idx)
+			}
+			seen[idx] = true
+			ln := &ss.Lines[idx]
+			if !ln.Valid {
+				return fmt.Errorf("cache %s: set %d invalid line %d in order", c.cfg.Name, si, idx)
+			}
+			if addrs[ln.Addr] {
+				return fmt.Errorf("cache %s: set %d duplicate block %#x", c.cfg.Name, si, ln.Addr)
+			}
+			addrs[ln.Addr] = true
+			if ln.Addr%uint32(c.cfg.BlockSize) != 0 {
+				return fmt.Errorf("cache %s: set %d block %#x not block-aligned", c.cfg.Name, si, ln.Addr)
+			}
+			if c.setIndex(ln.Addr) != si {
+				return fmt.Errorf("cache %s: set %d block %#x belongs to set %d", c.cfg.Name, si, ln.Addr, c.setIndex(ln.Addr))
+			}
+			segs += ln.Segments
+		}
+		if segs > c.segPerSet {
+			return fmt.Errorf("cache %s: set %d snapshot uses %d segments, budget %d", c.cfg.Name, si, segs, c.segPerSet)
+		}
+		for li := range ss.Lines {
+			ln := &ss.Lines[li]
+			if ln.Valid && !seen[li] {
+				return fmt.Errorf("cache %s: set %d valid line %d missing from order", c.cfg.Name, si, li)
+			}
+			if ln.Valid {
+				if len(ln.Data) != c.cfg.BlockSize {
+					return fmt.Errorf("cache %s: set %d line %d has %dB data, block is %dB", c.cfg.Name, si, li, len(ln.Data), c.cfg.BlockSize)
+				}
+				if ln.Segments <= 0 || ln.Segments > c.segPerBlock {
+					return fmt.Errorf("cache %s: set %d line %d has %d segments", c.cfg.Name, si, li, ln.Segments)
+				}
+				if !ln.Compressed && ln.Segments != c.segPerBlock {
+					return fmt.Errorf("cache %s: set %d uncompressed line %d has %d segments", c.cfg.Name, si, li, ln.Segments)
+				}
+			} else if len(ln.Data) > c.cfg.BlockSize {
+				return fmt.Errorf("cache %s: set %d dead line %d carries %dB data", c.cfg.Name, si, li, len(ln.Data))
+			}
+		}
+	}
+	return nil
+}

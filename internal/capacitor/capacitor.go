@@ -175,6 +175,39 @@ func (s *State) Leak(dt float64) float64 {
 	return lost
 }
 
+// Snapshot is the capacitor's full mutable state, exported for the simulator
+// checkpoint subsystem (internal/ckpt). Energies are joules.
+type Snapshot struct {
+	Energy    float64
+	Leaked    float64
+	Harvested float64
+}
+
+// Snapshot captures the current charge state.
+func (s *State) Snapshot() Snapshot {
+	return Snapshot{Energy: s.energy, Leaked: s.leaked, Harvested: s.harvested}
+}
+
+// Restore overwrites the charge state with a snapshot. It rejects physically
+// impossible values (negative or NaN energies) with an error instead of
+// adopting them, so a corrupted checkpoint cannot smuggle arbitrary state
+// into a run. Charge above this capacitor's VMax ceiling is clamped to the
+// ceiling: when a checkpoint is forked onto a smaller capacitor (a
+// capacitor-size sweep), the excess charge simply cannot be carried over.
+func (s *State) Restore(snap Snapshot) error {
+	if math.IsNaN(snap.Energy) || math.IsNaN(snap.Leaked) || math.IsNaN(snap.Harvested) ||
+		snap.Energy < 0 || snap.Leaked < 0 || snap.Harvested < 0 {
+		return fmt.Errorf("capacitor: invalid snapshot energies %+v", snap)
+	}
+	if ceiling := s.cfg.energyAt(s.cfg.VMax); snap.Energy > ceiling {
+		snap.Energy = ceiling
+	}
+	s.energy = snap.Energy
+	s.leaked = snap.Leaked
+	s.harvested = snap.Harvested
+	return nil
+}
+
 // BelowCheckpoint reports whether the voltage monitor would fire (V ≤ V_ckpt).
 func (s *State) BelowCheckpoint() bool {
 	return s.energy <= s.cfg.energyAt(s.cfg.VCkpt)

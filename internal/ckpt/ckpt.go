@@ -1,0 +1,519 @@
+// Package ckpt serializes simulator snapshots (ehs.Snapshot) to a versioned,
+// deterministic binary format — the on-disk checkpoint that lets a run be
+// taken once, inspected, diffed, and resumed or forked later (DESIGN.md §9).
+//
+// Format (version 1): an 8-byte magic, a little-endian uint16 version, then
+// the snapshot fields in fixed order. All integers are little-endian and
+// fixed-width; floats are IEEE-754 bit patterns (so encode∘decode is the
+// identity on every value, including NaN payloads); slices and strings are
+// length-prefixed. Encoding the same snapshot always yields the same bytes
+// (the NVM block list is address-sorted at capture).
+//
+// Decode is hardened against arbitrary input: every length prefix is checked
+// against the bytes actually remaining before allocation, unknown versions
+// and trailing bytes are errors, and no input can cause a panic (FuzzCkptDecode
+// holds the codec to that). Decoding validates structure only; semantic
+// validation — cache geometry, counter ranges, charge ceilings — happens in
+// Simulator.RestoreSnapshot, which is the only way decoded state reaches a
+// simulation.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"kagura/internal/acc"
+	"kagura/internal/cache"
+	"kagura/internal/ehs"
+	"kagura/internal/kagura"
+	"kagura/internal/nvm"
+)
+
+// Magic identifies a kagura checkpoint file.
+const Magic = "KAGCKPT\x00"
+
+// Version is the current format version. Decode refuses any other value:
+// format changes bump the version, and old readers must fail loudly rather
+// than misinterpret newer layouts (forward-compat policy in DESIGN.md §9).
+const Version uint16 = 1
+
+// maxHashLen bounds the config-fingerprint string (SHA-256 hex is 64 bytes).
+const maxHashLen = 128
+
+// Encode serializes a snapshot. The output is deterministic: equal snapshots
+// produce equal bytes.
+func Encode(snap *ehs.Snapshot) ([]byte, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("ckpt: nil snapshot")
+	}
+	if len(snap.ConfigHash) > maxHashLen {
+		return nil, fmt.Errorf("ckpt: config hash is %d bytes, limit %d", len(snap.ConfigHash), maxHashLen)
+	}
+	w := &writer{buf: make([]byte, 0, 1<<16)}
+	w.raw([]byte(Magic))
+	w.u16(Version)
+	w.str(snap.ConfigHash)
+
+	w.i64(snap.Time)
+	w.i64(snap.PoweredCycles)
+	w.i64(snap.Pos)
+	w.i64(snap.LastBoundary)
+	w.i64(snap.CurCommitted)
+	w.i64(snap.CurLoads)
+	w.i64(snap.CurStores)
+	w.i64(snap.CurStartPowered)
+	w.u32(snap.FetchBufBase)
+	w.bool(snap.FetchBufValid)
+
+	w.result(&snap.Res)
+
+	w.f64(snap.Cap.Energy)
+	w.f64(snap.Cap.Leaked)
+	w.f64(snap.Cap.Harvested)
+
+	w.u32(uint32(len(snap.Mem.Blocks)))
+	for _, b := range snap.Mem.Blocks {
+		w.u32(b.Addr)
+		w.bytes(b.Data)
+	}
+	w.i64(snap.Mem.Reads)
+	w.i64(snap.Mem.Writes)
+
+	w.cacheState(&snap.ICache)
+	w.cacheState(&snap.DCache)
+
+	w.bool(snap.Pred != nil)
+	if snap.Pred != nil {
+		w.i64(int64(snap.Pred.Counter))
+		w.i64(snap.Pred.AvoidedMisses)
+		w.i64(snap.Pred.PenalizedHits)
+	}
+	w.bool(snap.Kag != nil)
+	if snap.Kag != nil {
+		k := snap.Kag
+		w.u32(k.RMem)
+		w.u32(k.RPrev)
+		w.u32(k.RThres)
+		w.u32(uint32(k.RAdjust))
+		w.u32(k.REvict)
+		w.i64(int64(k.Counter))
+		w.u16(uint16(k.Mode))
+		w.u32(k.CmLost)
+		w.u32(k.CmMemOps)
+		w.u32(k.RmMemOps)
+		w.u32(uint32(len(k.History)))
+		for _, h := range k.History {
+			w.u32(h)
+		}
+		w.i64(k.Stats.CyclesSeen)
+		w.i64(k.Stats.RMEntries)
+		w.i64(k.Stats.MemOps)
+		w.i64(k.Stats.MemOpsInRM)
+		w.i64(k.Stats.AdjustApplied)
+		w.i64(k.Stats.ThresholdRaises)
+		w.i64(k.Stats.ThresholdDrops)
+	}
+	return w.buf, nil
+}
+
+// Decode parses a checkpoint. Any malformation — wrong magic, unknown
+// version, truncation, oversized length prefixes, trailing bytes — is an
+// error; no input panics.
+func Decode(data []byte) (*ehs.Snapshot, error) {
+	r := &reader{data: data}
+	if magic := r.take(len(Magic)); r.err == nil && string(magic) != Magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", magic)
+	}
+	if v := r.u16(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("ckpt: unknown format version %d (this build reads version %d)", v, Version)
+	}
+	snap := &ehs.Snapshot{}
+	snap.ConfigHash = r.str(maxHashLen)
+
+	snap.Time = r.i64()
+	snap.PoweredCycles = r.i64()
+	snap.Pos = r.i64()
+	snap.LastBoundary = r.i64()
+	snap.CurCommitted = r.i64()
+	snap.CurLoads = r.i64()
+	snap.CurStores = r.i64()
+	snap.CurStartPowered = r.i64()
+	snap.FetchBufBase = r.u32()
+	snap.FetchBufValid = r.bool()
+
+	r.result(&snap.Res)
+
+	snap.Cap.Energy = r.f64()
+	snap.Cap.Leaked = r.f64()
+	snap.Cap.Harvested = r.f64()
+
+	// Each block is at least addr(4) + length prefix(4) bytes.
+	nBlocks := r.count(8)
+	if r.err == nil && nBlocks > 0 {
+		snap.Mem.Blocks = make([]nvm.BlockState, nBlocks)
+		for i := range snap.Mem.Blocks {
+			snap.Mem.Blocks[i].Addr = r.u32()
+			snap.Mem.Blocks[i].Data = r.bytes()
+		}
+	}
+	snap.Mem.Reads = r.i64()
+	snap.Mem.Writes = r.i64()
+
+	r.cacheState(&snap.ICache)
+	r.cacheState(&snap.DCache)
+
+	if r.bool() {
+		p := &acc.Snapshot{}
+		p.Counter = int(r.i64())
+		p.AvoidedMisses = r.i64()
+		p.PenalizedHits = r.i64()
+		snap.Pred = p
+	}
+	if r.bool() {
+		k := &kagura.Snapshot{}
+		k.RMem = r.u32()
+		k.RPrev = r.u32()
+		k.RThres = r.u32()
+		k.RAdjust = int32(r.u32())
+		k.REvict = r.u32()
+		k.Counter = int(r.i64())
+		k.Mode = kagura.Mode(r.u16())
+		k.CmLost = r.u32()
+		k.CmMemOps = r.u32()
+		k.RmMemOps = r.u32()
+		nHist := r.count(4)
+		if r.err == nil && nHist > 0 {
+			k.History = make([]uint32, nHist)
+			for i := range k.History {
+				k.History[i] = r.u32()
+			}
+		}
+		k.Stats.CyclesSeen = r.i64()
+		k.Stats.RMEntries = r.i64()
+		k.Stats.MemOps = r.i64()
+		k.Stats.MemOpsInRM = r.i64()
+		k.Stats.AdjustApplied = r.i64()
+		k.Stats.ThresholdRaises = r.i64()
+		k.Stats.ThresholdDrops = r.i64()
+		snap.Kag = k
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after snapshot", len(r.data)-r.off)
+	}
+	return snap, nil
+}
+
+// writer accumulates the encoding. Appends cannot fail.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) raw(b []byte)  { w.buf = append(w.buf, b...) }
+func (w *writer) u16(v uint16)  { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+func (w *writer) bytes(b []byte) { w.u32(uint32(len(b))); w.raw(b) }
+func (w *writer) str(s string)   { w.bytes([]byte(s)) }
+
+func (w *writer) stats(s *cache.Stats) {
+	w.i64(s.Accesses)
+	w.i64(s.Hits)
+	w.i64(s.Misses)
+	w.i64(s.HitsCompressed)
+	w.i64(s.HitsBeyondWays)
+	w.i64(s.Compressions)
+	w.i64(s.Decompressions)
+	w.i64(s.Evictions)
+	w.i64(s.DirtyEvictions)
+	w.i64(s.ShadowHits)
+	w.i64(s.Fills)
+	w.i64(s.FillsCompressed)
+	w.i64(s.DecayEvictions)
+	w.i64(s.PrefetchFills)
+}
+
+func (w *writer) result(res *ehs.Result) {
+	w.bool(res.Completed)
+	w.f64(res.ExecSeconds)
+	w.i64(res.Committed)
+	w.i64(res.Executed)
+	w.i64(res.PowerCycles)
+	w.f64(res.Energy.Compress)
+	w.f64(res.Energy.Decompress)
+	w.f64(res.Energy.CacheOther)
+	w.f64(res.Energy.Memory)
+	w.f64(res.Energy.Checkpoint)
+	w.f64(res.Energy.Others)
+	w.stats(&res.ICache)
+	w.stats(&res.DCache)
+	w.i64(res.Compressions)
+	w.i64(res.Decompressions)
+	w.i64(res.KaguraRMEntries)
+	w.i64(res.Prefetches)
+	w.u32(uint32(len(res.Cycles)))
+	for _, c := range res.Cycles {
+		w.i64(c.Committed)
+		w.i64(c.Loads)
+		w.i64(c.Stores)
+		w.i64(c.Cycles)
+	}
+	w.i64(res.CheckpointedBlocks)
+	w.f64(res.CapacitorLeakJoules)
+}
+
+func (w *writer) cacheState(st *cache.State) {
+	w.u32(uint32(len(st.Sets)))
+	for _, set := range st.Sets {
+		w.u16(uint16(len(set.Lines)))
+		for _, ln := range set.Lines {
+			w.bool(ln.Valid)
+			w.u32(ln.Addr)
+			w.bool(ln.Dirty)
+			w.bool(ln.Compressed)
+			w.u16(uint16(ln.Segments))
+			w.i64(ln.LastUse)
+			w.bytes(ln.Data)
+		}
+		w.u16(uint16(len(set.Order)))
+		for _, idx := range set.Order {
+			w.u16(uint16(idx))
+		}
+		w.u16(uint16(len(set.Shadow)))
+		for _, addr := range set.Shadow {
+			w.u32(addr)
+		}
+	}
+	w.stats(&st.Stats)
+	w.u64(st.VictimSeed)
+}
+
+// reader parses the encoding, carrying the first error; every accessor is a
+// no-op once err is set, so decode logic reads straight-line.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: "+format+" at offset %d", append(args, r.off)...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.fail("truncated: need %d bytes, have %d", n, r.remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool {
+	b := r.take(1)
+	if b == nil {
+		return false
+	}
+	if b[0] > 1 {
+		r.fail("invalid boolean byte %#x", b[0])
+		return false
+	}
+	return b[0] == 1
+}
+
+// count reads a u32 element count and bounds it by the bytes remaining: a
+// hostile prefix can never force an allocation larger than the input itself.
+func (r *reader) count(minElemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n*minElemBytes > r.remaining() {
+		r.fail("count %d exceeds remaining input (%d bytes, ≥%d each)", n, r.remaining(), minElemBytes)
+		return 0
+	}
+	return n
+}
+
+// count16 is count for u16-prefixed collections.
+func (r *reader) count16(minElemBytes int) int {
+	n := int(r.u16())
+	if r.err != nil {
+		return 0
+	}
+	if n*minElemBytes > r.remaining() {
+		r.fail("count %d exceeds remaining input (%d bytes, ≥%d each)", n, r.remaining(), minElemBytes)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) bytes() []byte {
+	n := r.count(1)
+	b := r.take(n)
+	if b == nil || n == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) str(maxLen int) string {
+	n := r.count(1)
+	if r.err == nil && n > maxLen {
+		r.fail("string length %d exceeds limit %d", n, maxLen)
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) stats(s *cache.Stats) {
+	s.Accesses = r.i64()
+	s.Hits = r.i64()
+	s.Misses = r.i64()
+	s.HitsCompressed = r.i64()
+	s.HitsBeyondWays = r.i64()
+	s.Compressions = r.i64()
+	s.Decompressions = r.i64()
+	s.Evictions = r.i64()
+	s.DirtyEvictions = r.i64()
+	s.ShadowHits = r.i64()
+	s.Fills = r.i64()
+	s.FillsCompressed = r.i64()
+	s.DecayEvictions = r.i64()
+	s.PrefetchFills = r.i64()
+}
+
+func (r *reader) result(res *ehs.Result) {
+	res.Completed = r.bool()
+	res.ExecSeconds = r.f64()
+	res.Committed = r.i64()
+	res.Executed = r.i64()
+	res.PowerCycles = r.i64()
+	res.Energy.Compress = r.f64()
+	res.Energy.Decompress = r.f64()
+	res.Energy.CacheOther = r.f64()
+	res.Energy.Memory = r.f64()
+	res.Energy.Checkpoint = r.f64()
+	res.Energy.Others = r.f64()
+	r.stats(&res.ICache)
+	r.stats(&res.DCache)
+	res.Compressions = r.i64()
+	res.Decompressions = r.i64()
+	res.KaguraRMEntries = r.i64()
+	res.Prefetches = r.i64()
+	// Each cycle record is 4×8 bytes.
+	n := r.count(32)
+	if r.err == nil && n > 0 {
+		res.Cycles = make([]ehs.CycleRecord, n)
+		for i := range res.Cycles {
+			res.Cycles[i].Committed = r.i64()
+			res.Cycles[i].Loads = r.i64()
+			res.Cycles[i].Stores = r.i64()
+			res.Cycles[i].Cycles = r.i64()
+		}
+	}
+	res.CheckpointedBlocks = r.i64()
+	res.CapacitorLeakJoules = r.f64()
+}
+
+func (r *reader) cacheState(st *cache.State) {
+	// Each set carries at least three u16 prefixes.
+	nSets := r.count(6)
+	if r.err != nil || nSets == 0 {
+		return
+	}
+	st.Sets = make([]cache.SetState, nSets)
+	for si := range st.Sets {
+		set := &st.Sets[si]
+		// Each line is at least 1+4+1+1+2+8+4 = 21 bytes.
+		nLines := r.count16(21)
+		if r.err != nil {
+			return
+		}
+		if nLines > 0 {
+			set.Lines = make([]cache.LineState, nLines)
+			for li := range set.Lines {
+				ln := &set.Lines[li]
+				ln.Valid = r.bool()
+				ln.Addr = r.u32()
+				ln.Dirty = r.bool()
+				ln.Compressed = r.bool()
+				ln.Segments = int(r.u16())
+				ln.LastUse = r.i64()
+				ln.Data = r.bytes()
+			}
+		}
+		nOrder := r.count16(2)
+		if r.err != nil {
+			return
+		}
+		if nOrder > 0 {
+			set.Order = make([]int, nOrder)
+			for i := range set.Order {
+				set.Order[i] = int(r.u16())
+			}
+		}
+		nShadow := r.count16(4)
+		if r.err != nil {
+			return
+		}
+		if nShadow > 0 {
+			set.Shadow = make([]uint32, nShadow)
+			for i := range set.Shadow {
+				set.Shadow[i] = r.u32()
+			}
+		}
+	}
+	r.stats(&st.Stats)
+	st.VictimSeed = r.u64()
+}

@@ -1,0 +1,284 @@
+package ckpt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"kagura/internal/cache"
+	"kagura/internal/ehs"
+)
+
+// Describe renders a human-readable summary of a checkpoint: where the run
+// is, what it has accumulated, and which optional controllers it carries.
+func Describe(snap *ehs.Snapshot) string {
+	if snap == nil {
+		return "<nil snapshot>"
+	}
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("config:        %s", snap.ConfigHash)
+	w("cycle:         %d (%.6fs trace time, %d powered)", snap.Time, float64(snap.Time)*ehs.CyclePeriod, snap.PoweredCycles)
+	w("position:      instruction %d (region boundary %d)", snap.Pos, snap.LastBoundary)
+	w("power cycles:  %d completed; current: %d committed, %d loads, %d stores", snap.Res.PowerCycles, snap.CurCommitted, snap.CurLoads, snap.CurStores)
+	w("energy:        %.6g J total (compress %.3g, decompress %.3g, cache %.3g, memory %.3g, checkpoint %.3g, others %.3g)",
+		snap.Res.Energy.Total(), snap.Res.Energy.Compress, snap.Res.Energy.Decompress,
+		snap.Res.Energy.CacheOther, snap.Res.Energy.Memory, snap.Res.Energy.Checkpoint, snap.Res.Energy.Others)
+	w("capacitor:     %.4g J stored, %.4g J leaked, %.4g J harvested", snap.Cap.Energy, snap.Cap.Leaked, snap.Cap.Harvested)
+	w("nvm:           %d written blocks, %d reads, %d writes", len(snap.Mem.Blocks), snap.Mem.Reads, snap.Mem.Writes)
+	w("icache:        %s", cacheLine(&snap.ICache))
+	w("dcache:        %s", cacheLine(&snap.DCache))
+	w("cycle log:     %d records", len(snap.Res.Cycles))
+	if snap.Pred != nil {
+		w("acc:           GCP %d (%d avoided misses, %d penalized hits)", snap.Pred.Counter, snap.Pred.AvoidedMisses, snap.Pred.PenalizedHits)
+	} else {
+		w("acc:           absent")
+	}
+	if snap.Kag != nil {
+		w("kagura:        mode %v, R_mem %d, R_prev %d, R_thres %d, R_adjust %d, %d RM entries",
+			snap.Kag.Mode, snap.Kag.RMem, snap.Kag.RPrev, snap.Kag.RThres, snap.Kag.RAdjust, snap.Kag.Stats.RMEntries)
+	} else {
+		w("kagura:        absent")
+	}
+	return b.String()
+}
+
+// cacheLine summarizes one cache array's snapshot.
+func cacheLine(st *cache.State) string {
+	valid, compressed := 0, 0
+	for _, set := range st.Sets {
+		for _, ln := range set.Lines {
+			if ln.Valid {
+				valid++
+				if ln.Compressed {
+					compressed++
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%d sets, %d valid lines (%d compressed); %d accesses, %d hits, %d misses",
+		len(st.Sets), valid, compressed, st.Stats.Accesses, st.Stats.Hits, st.Stats.Misses)
+}
+
+// differ collects field-by-field differences as "field: a → b" lines.
+type differ struct {
+	out []string
+}
+
+func (d *differ) i(name string, a, b int64) {
+	if a != b {
+		d.out = append(d.out, fmt.Sprintf("%s: %d → %d", name, a, b))
+	}
+}
+
+func (d *differ) u(name string, a, b uint64) {
+	if a != b {
+		d.out = append(d.out, fmt.Sprintf("%s: %d → %d", name, a, b))
+	}
+}
+
+// f compares floats by bit pattern: a checkpoint diff must surface *any*
+// representational change, including ones smaller than printing precision.
+func (d *differ) f(name string, a, b float64) {
+	if math.Float64bits(a) != math.Float64bits(b) {
+		d.out = append(d.out, fmt.Sprintf("%s: %g → %g", name, a, b))
+	}
+}
+
+func (d *differ) b(name string, a, b bool) {
+	if a != b {
+		d.out = append(d.out, fmt.Sprintf("%s: %t → %t", name, a, b))
+	}
+}
+
+func (d *differ) s(name string, a, b string) {
+	if a != b {
+		d.out = append(d.out, fmt.Sprintf("%s: %s → %s", name, a, b))
+	}
+}
+
+func (d *differ) stats(prefix string, a, b *cache.Stats) {
+	d.i(prefix+".accesses", a.Accesses, b.Accesses)
+	d.i(prefix+".hits", a.Hits, b.Hits)
+	d.i(prefix+".misses", a.Misses, b.Misses)
+	d.i(prefix+".hitsCompressed", a.HitsCompressed, b.HitsCompressed)
+	d.i(prefix+".hitsBeyondWays", a.HitsBeyondWays, b.HitsBeyondWays)
+	d.i(prefix+".compressions", a.Compressions, b.Compressions)
+	d.i(prefix+".decompressions", a.Decompressions, b.Decompressions)
+	d.i(prefix+".evictions", a.Evictions, b.Evictions)
+	d.i(prefix+".dirtyEvictions", a.DirtyEvictions, b.DirtyEvictions)
+	d.i(prefix+".shadowHits", a.ShadowHits, b.ShadowHits)
+	d.i(prefix+".fills", a.Fills, b.Fills)
+	d.i(prefix+".fillsCompressed", a.FillsCompressed, b.FillsCompressed)
+	d.i(prefix+".decayEvictions", a.DecayEvictions, b.DecayEvictions)
+	d.i(prefix+".prefetchFills", a.PrefetchFills, b.PrefetchFills)
+}
+
+// cacheArray reports structural cache differences compactly: equal-geometry
+// arrays get per-set line counts; mismatched geometry is reported as such.
+func (d *differ) cacheArray(prefix string, a, b *cache.State) {
+	d.stats(prefix, &a.Stats, &b.Stats)
+	d.u(prefix+".victimSeed", a.VictimSeed, b.VictimSeed)
+	if len(a.Sets) != len(b.Sets) {
+		d.out = append(d.out, fmt.Sprintf("%s: %d sets → %d sets", prefix, len(a.Sets), len(b.Sets)))
+		return
+	}
+	differing := 0
+	first := -1
+	for si := range a.Sets {
+		if !setsEqual(&a.Sets[si], &b.Sets[si]) {
+			differing++
+			if first < 0 {
+				first = si
+			}
+		}
+	}
+	if differing > 0 {
+		d.out = append(d.out, fmt.Sprintf("%s: contents differ in %d/%d sets (first: set %d)", prefix, differing, len(a.Sets), first))
+	}
+}
+
+func setsEqual(a, b *cache.SetState) bool {
+	if len(a.Lines) != len(b.Lines) || len(a.Order) != len(b.Order) || len(a.Shadow) != len(b.Shadow) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	for i := range a.Shadow {
+		if a.Shadow[i] != b.Shadow[i] {
+			return false
+		}
+	}
+	for i := range a.Lines {
+		la, lb := &a.Lines[i], &b.Lines[i]
+		if la.Valid != lb.Valid || la.Addr != lb.Addr || la.Dirty != lb.Dirty ||
+			la.Compressed != lb.Compressed || la.Segments != lb.Segments ||
+			la.LastUse != lb.LastUse || !bytesEqual(la.Data, lb.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the field-by-field differences between two checkpoints as
+// human-readable "field: a → b" lines, empty when the snapshots are
+// identical. Floats are compared bit-exactly; large collections (NVM blocks,
+// cache contents, the cycle log) are summarized by count and first
+// divergence rather than dumped.
+func Diff(a, b *ehs.Snapshot) []string {
+	if a == nil || b == nil {
+		if a == b {
+			return nil
+		}
+		return []string{fmt.Sprintf("snapshot presence: %t → %t", a != nil, b != nil)}
+	}
+	d := &differ{}
+	d.s("configHash", a.ConfigHash, b.ConfigHash)
+	d.i("time", a.Time, b.Time)
+	d.i("poweredCycles", a.PoweredCycles, b.PoweredCycles)
+	d.i("pos", a.Pos, b.Pos)
+	d.i("lastBoundary", a.LastBoundary, b.LastBoundary)
+	d.i("curCommitted", a.CurCommitted, b.CurCommitted)
+	d.i("curLoads", a.CurLoads, b.CurLoads)
+	d.i("curStores", a.CurStores, b.CurStores)
+	d.i("curStartPowered", a.CurStartPowered, b.CurStartPowered)
+	d.u("fetchBufBase", uint64(a.FetchBufBase), uint64(b.FetchBufBase))
+	d.b("fetchBufValid", a.FetchBufValid, b.FetchBufValid)
+
+	d.b("res.completed", a.Res.Completed, b.Res.Completed)
+	d.f("res.execSeconds", a.Res.ExecSeconds, b.Res.ExecSeconds)
+	d.i("res.committed", a.Res.Committed, b.Res.Committed)
+	d.i("res.executed", a.Res.Executed, b.Res.Executed)
+	d.i("res.powerCycles", a.Res.PowerCycles, b.Res.PowerCycles)
+	d.f("res.energy.compress", a.Res.Energy.Compress, b.Res.Energy.Compress)
+	d.f("res.energy.decompress", a.Res.Energy.Decompress, b.Res.Energy.Decompress)
+	d.f("res.energy.cacheOther", a.Res.Energy.CacheOther, b.Res.Energy.CacheOther)
+	d.f("res.energy.memory", a.Res.Energy.Memory, b.Res.Energy.Memory)
+	d.f("res.energy.checkpoint", a.Res.Energy.Checkpoint, b.Res.Energy.Checkpoint)
+	d.f("res.energy.others", a.Res.Energy.Others, b.Res.Energy.Others)
+	d.stats("res.icache", &a.Res.ICache, &b.Res.ICache)
+	d.stats("res.dcache", &a.Res.DCache, &b.Res.DCache)
+	d.i("res.compressions", a.Res.Compressions, b.Res.Compressions)
+	d.i("res.decompressions", a.Res.Decompressions, b.Res.Decompressions)
+	d.i("res.kaguraRMEntries", a.Res.KaguraRMEntries, b.Res.KaguraRMEntries)
+	d.i("res.prefetches", a.Res.Prefetches, b.Res.Prefetches)
+	d.i("res.cycleLogRecords", int64(len(a.Res.Cycles)), int64(len(b.Res.Cycles)))
+	d.i("res.checkpointedBlocks", a.Res.CheckpointedBlocks, b.Res.CheckpointedBlocks)
+	d.f("res.capacitorLeakJoules", a.Res.CapacitorLeakJoules, b.Res.CapacitorLeakJoules)
+
+	d.f("cap.energy", a.Cap.Energy, b.Cap.Energy)
+	d.f("cap.leaked", a.Cap.Leaked, b.Cap.Leaked)
+	d.f("cap.harvested", a.Cap.Harvested, b.Cap.Harvested)
+
+	d.i("nvm.blocks", int64(len(a.Mem.Blocks)), int64(len(b.Mem.Blocks)))
+	if len(a.Mem.Blocks) == len(b.Mem.Blocks) {
+		differing := 0
+		first := uint32(0)
+		for i := range a.Mem.Blocks {
+			ba, bb := &a.Mem.Blocks[i], &b.Mem.Blocks[i]
+			if ba.Addr != bb.Addr || !bytesEqual(ba.Data, bb.Data) {
+				if differing == 0 {
+					first = ba.Addr
+				}
+				differing++
+			}
+		}
+		if differing > 0 {
+			d.out = append(d.out, fmt.Sprintf("nvm: contents differ in %d blocks (first: %#x)", differing, first))
+		}
+	}
+	d.i("nvm.reads", a.Mem.Reads, b.Mem.Reads)
+	d.i("nvm.writes", a.Mem.Writes, b.Mem.Writes)
+
+	d.cacheArray("icache", &a.ICache, &b.ICache)
+	d.cacheArray("dcache", &a.DCache, &b.DCache)
+
+	switch {
+	case a.Pred == nil && b.Pred != nil, a.Pred != nil && b.Pred == nil:
+		d.out = append(d.out, fmt.Sprintf("acc presence: %t → %t", a.Pred != nil, b.Pred != nil))
+	case a.Pred != nil:
+		d.i("acc.counter", int64(a.Pred.Counter), int64(b.Pred.Counter))
+		d.i("acc.avoidedMisses", a.Pred.AvoidedMisses, b.Pred.AvoidedMisses)
+		d.i("acc.penalizedHits", a.Pred.PenalizedHits, b.Pred.PenalizedHits)
+	}
+	switch {
+	case a.Kag == nil && b.Kag != nil, a.Kag != nil && b.Kag == nil:
+		d.out = append(d.out, fmt.Sprintf("kagura presence: %t → %t", a.Kag != nil, b.Kag != nil))
+	case a.Kag != nil:
+		ka, kb := a.Kag, b.Kag
+		d.u("kagura.rMem", uint64(ka.RMem), uint64(kb.RMem))
+		d.u("kagura.rPrev", uint64(ka.RPrev), uint64(kb.RPrev))
+		d.u("kagura.rThres", uint64(ka.RThres), uint64(kb.RThres))
+		d.i("kagura.rAdjust", int64(ka.RAdjust), int64(kb.RAdjust))
+		d.u("kagura.rEvict", uint64(ka.REvict), uint64(kb.REvict))
+		d.i("kagura.counter", int64(ka.Counter), int64(kb.Counter))
+		d.i("kagura.mode", int64(ka.Mode), int64(kb.Mode))
+		d.u("kagura.cmLost", uint64(ka.CmLost), uint64(kb.CmLost))
+		d.u("kagura.cmMemOps", uint64(ka.CmMemOps), uint64(kb.CmMemOps))
+		d.u("kagura.rmMemOps", uint64(ka.RmMemOps), uint64(kb.RmMemOps))
+		d.i("kagura.historyDepth", int64(len(ka.History)), int64(len(kb.History)))
+		d.i("kagura.stats.cyclesSeen", ka.Stats.CyclesSeen, kb.Stats.CyclesSeen)
+		d.i("kagura.stats.rmEntries", ka.Stats.RMEntries, kb.Stats.RMEntries)
+		d.i("kagura.stats.memOps", ka.Stats.MemOps, kb.Stats.MemOps)
+		d.i("kagura.stats.memOpsInRM", ka.Stats.MemOpsInRM, kb.Stats.MemOpsInRM)
+		d.i("kagura.stats.adjustApplied", ka.Stats.AdjustApplied, kb.Stats.AdjustApplied)
+		d.i("kagura.stats.thresholdRaises", ka.Stats.ThresholdRaises, kb.Stats.ThresholdRaises)
+		d.i("kagura.stats.thresholdDrops", ka.Stats.ThresholdDrops, kb.Stats.ThresholdDrops)
+	}
+	return d.out
+}

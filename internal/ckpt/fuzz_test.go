@@ -1,0 +1,43 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzCkptDecode drives Decode with arbitrary bytes. The contract under
+// fuzz: decode never panics and never silently misreads — it either errors,
+// or returns a snapshot whose re-encoding decodes back to the same value
+// (encode∘decode is a fixed point). Valid encodings are seeded so the fuzzer
+// mutates deep into the format rather than bouncing off the magic.
+func FuzzCkptDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	for _, app := range []string{"jpeg", "gsm"} {
+		snap, _ := testSnapshot(f, app, 200_000)
+		data, err := Encode(snap)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Round-trip: whatever structure the input described, the codec must
+		// reproduce it exactly.
+		out, err := Encode(snap)
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to encode: %v", err)
+		}
+		again, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatal("encode/decode fixed point violated")
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package ehs
+
+import (
+	"context"
+	"fmt"
+
+	"kagura/internal/acc"
+	"kagura/internal/cache"
+	"kagura/internal/capacitor"
+	"kagura/internal/kagura"
+	"kagura/internal/nvm"
+)
+
+// Snapshot is the full mutable state of a Simulator at an instruction
+// boundary: core progress and accounting, the accumulated Result, the
+// capacitor charge, the NVM written-block store, both cache arrays, and the
+// ACC/Kagura controller state when the configuration carries them. Runs are
+// deterministic, so run-to-cycle-N → Snapshot → resume produces a Result
+// byte-identical to an uninterrupted run of the same configuration.
+//
+// A snapshot records the Fingerprint of the config it was taken under.
+// Restoring under a config with the same fingerprint is an exact resume;
+// restoring under a different config is a *fork* — the sweep-acceleration
+// mode where one warm prefix seeds many variant runs. Forks are approximate
+// by construction (the prefix was simulated under the base config) and are
+// only accepted when the component states are structurally compatible with
+// the new config; incompatible geometry is rejected with an error.
+//
+// Derived state (energy budget, monitor flag, scratch buffers, the oracle
+// tracking map) is rebuilt from the config by New and deliberately absent.
+// Oracle runs carry shared, process-local state that cannot round-trip, so
+// they cannot be snapshotted at all.
+type Snapshot struct {
+	// ConfigHash is Config.Fingerprint() of the run the snapshot was taken
+	// from.
+	ConfigHash string
+
+	// Core progress and per-power-cycle accounting.
+	Time            int64
+	PoweredCycles   int64
+	Pos             int64
+	LastBoundary    int64
+	CurCommitted    int64
+	CurLoads        int64
+	CurStores       int64
+	CurStartPowered int64
+	FetchBufBase    uint32
+	FetchBufValid   bool
+
+	// Res is the result accumulated so far (finalized fields like Completed
+	// and ExecSeconds are stale until the resumed run finishes).
+	Res Result
+
+	Cap    capacitor.Snapshot
+	Mem    nvm.Snapshot
+	ICache cache.State
+	DCache cache.State
+
+	// Pred and Kag are nil when the source config had no ACC predictor or
+	// Kagura controller.
+	Pred *acc.Snapshot
+	Kag  *kagura.Snapshot
+}
+
+// copyResult deep-copies a Result (the cycle log is the only reference field).
+func copyResult(r Result) Result {
+	if r.Cycles != nil {
+		r.Cycles = append([]CycleRecord(nil), r.Cycles...)
+	}
+	return r
+}
+
+// Snapshot captures the simulator's complete state. Everything is
+// deep-copied: the snapshot stays valid as the simulation continues, and
+// restoring from it never aliases live state. Oracle-mode runs cannot be
+// snapshotted (the oracle accumulates shared state outside the simulator)
+// and return an error.
+func (s *Simulator) Snapshot() (*Snapshot, error) {
+	if s.cfg.Oracle != nil {
+		return nil, fmt.Errorf("ehs: oracle-mode runs cannot be snapshotted")
+	}
+	snap := &Snapshot{
+		ConfigHash:      s.cfg.Fingerprint(),
+		Time:            s.time,
+		PoweredCycles:   s.poweredCycles,
+		Pos:             s.pos,
+		LastBoundary:    s.lastBoundary,
+		CurCommitted:    s.curCommitted,
+		CurLoads:        s.curLoads,
+		CurStores:       s.curStores,
+		CurStartPowered: s.curStartPowered,
+		FetchBufBase:    s.fetchBufBase,
+		FetchBufValid:   s.fetchBufValid,
+		Res:             copyResult(s.res),
+		Cap:             s.cap.Snapshot(),
+		Mem:             s.mem.Snapshot(),
+		ICache:          s.ic.Snapshot(),
+		DCache:          s.dc.Snapshot(),
+	}
+	if s.pred != nil {
+		p := s.pred.Snapshot()
+		snap.Pred = &p
+	}
+	if s.kag != nil {
+		k := s.kag.Snapshot()
+		snap.Kag = &k
+	}
+	return snap, nil
+}
+
+// validate rejects scalar state no reachable simulator could hold, so a
+// corrupted checkpoint fails loudly instead of silently skewing results.
+func (snap *Snapshot) validate(total int64) error {
+	switch {
+	case snap == nil:
+		return fmt.Errorf("ehs: nil snapshot")
+	case snap.ConfigHash == "":
+		return fmt.Errorf("ehs: snapshot missing config fingerprint")
+	case snap.Time < 0 || snap.PoweredCycles < 0 || snap.PoweredCycles > snap.Time:
+		return fmt.Errorf("ehs: snapshot time %d / powered %d inconsistent", snap.Time, snap.PoweredCycles)
+	case snap.Pos < 0 || snap.Pos > total:
+		return fmt.Errorf("ehs: snapshot position %d outside program [0, %d]", snap.Pos, total)
+	case snap.LastBoundary < 0 || snap.LastBoundary > snap.Pos:
+		return fmt.Errorf("ehs: snapshot region boundary %d outside [0, %d]", snap.LastBoundary, snap.Pos)
+	case snap.CurCommitted < 0 || snap.CurLoads < 0 || snap.CurStores < 0 || snap.CurStartPowered < 0:
+		return fmt.Errorf("ehs: snapshot has negative power-cycle counters")
+	case snap.Res.Committed < 0 || snap.Res.Executed < 0 || snap.Res.PowerCycles < 0:
+		return fmt.Errorf("ehs: snapshot result has negative counters")
+	}
+	return nil
+}
+
+// RestoreSnapshot overwrites the simulator's state from a snapshot. The
+// simulator must be freshly constructed (or otherwise disposable): on error
+// the state is unspecified and the simulator must be discarded.
+//
+// When the snapshot's config fingerprint matches this simulator's, the
+// restore is exact and a subsequent run is byte-identical to one that was
+// never interrupted. Otherwise this is a fork onto a variant config:
+// component restores enforce structural compatibility (cache geometry, NVM
+// block size, controller ranges), predictor/controller state transfers only
+// when both sides have one, and out-of-range charge is clamped by the
+// capacitor model.
+func (s *Simulator) RestoreSnapshot(snap *Snapshot) error {
+	if s.cfg.Oracle != nil {
+		return fmt.Errorf("ehs: cannot restore a snapshot into an oracle-mode run")
+	}
+	if err := snap.validate(s.cfg.App.Len()); err != nil {
+		return err
+	}
+	if err := s.cap.Restore(snap.Cap); err != nil {
+		return err
+	}
+	if err := s.mem.Restore(snap.Mem); err != nil {
+		return err
+	}
+	if err := s.ic.Restore(snap.ICache); err != nil {
+		return fmt.Errorf("ehs: icache: %w", err)
+	}
+	if err := s.dc.Restore(snap.DCache); err != nil {
+		return fmt.Errorf("ehs: dcache: %w", err)
+	}
+	if s.pred != nil && snap.Pred != nil {
+		if err := s.pred.Restore(*snap.Pred); err != nil {
+			return err
+		}
+	}
+	if s.kag != nil && snap.Kag != nil {
+		if err := s.kag.Restore(*snap.Kag); err != nil {
+			return err
+		}
+	}
+	s.time = snap.Time
+	s.poweredCycles = snap.PoweredCycles
+	s.pos = snap.Pos
+	s.lastBoundary = snap.LastBoundary
+	s.curCommitted = snap.CurCommitted
+	s.curLoads = snap.CurLoads
+	s.curStores = snap.CurStores
+	s.curStartPowered = snap.CurStartPowered
+	s.fetchBufBase = snap.FetchBufBase
+	s.fetchBufValid = snap.FetchBufValid
+	s.res = copyResult(snap.Res)
+	return nil
+}
+
+// RunToCycle advances the simulation until the program completes, the cycle
+// bound is reached, or the safety cutoff hits — without finalizing the
+// Result (only a full run does that). It returns whether the program
+// completed. Use it to position a simulator for Snapshot: run to a cycle,
+// snapshot, and either keep running this simulator or seed others via
+// RunFrom.
+func (s *Simulator) RunToCycle(ctx context.Context, cycle int64) (bool, error) {
+	done := ctx.Done()
+	total := s.cfg.App.Len()
+	var sinceCheck int64
+	for s.pos < total && s.time < s.maxCycles && s.time < cycle {
+		cyclesBefore := s.res.PowerCycles
+		s.step()
+		if done == nil {
+			continue
+		}
+		sinceCheck++
+		if sinceCheck >= ctxCheckInstrs || s.res.PowerCycles != cyclesBefore {
+			sinceCheck = 0
+			select {
+			case <-done:
+				return false, fmt.Errorf("ehs: run %s aborted: %w", s.cfg.App.Name, ctx.Err())
+			default:
+			}
+		}
+	}
+	return s.pos >= total, nil
+}
+
+// RunFrom constructs a simulator for cfg, restores snap into it, and runs to
+// completion. With cfg equal to the snapshot's source config this resumes
+// the interrupted run and returns a Result byte-identical to an
+// uninterrupted one; with a variant cfg it forks the warm prefix onto the
+// new configuration (the sweep warm-start path).
+func RunFrom(ctx context.Context, snap *Snapshot, cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RestoreSnapshot(snap); err != nil {
+		return nil, err
+	}
+	return s.run(ctx)
+}

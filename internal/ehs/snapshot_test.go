@@ -1,0 +1,230 @@
+package ehs
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"kagura/internal/compress"
+	"kagura/internal/kagura"
+)
+
+// midpointCycle returns roughly half the straight-through run's cycle count,
+// so snapshot tests interrupt runs deep inside the power-failure regime.
+func midpointCycle(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(res.ExecSeconds/CyclePeriod) / 2
+}
+
+// TestSnapshotResumeEquivalence is the checkpoint subsystem's core
+// regression: for every workload × design pair, run to a midpoint cycle,
+// snapshot, resume via RunFrom under the same config, and require the Result
+// to be deep-equal to an uninterrupted run — including the per-power-cycle
+// log and every float in the energy breakdown. CI runs this under -race.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, app := range []string{"jpeg", "gsm", "typeset"} {
+		for _, design := range []Design{NVSRAMCache, SweepCache} {
+			t.Run(app+"/"+design.String(), func(t *testing.T) {
+				cfg := testConfig(t, app).WithACC(compress.BDI{}).WithKagura(kagura.DefaultConfig())
+				cfg.Design = design
+
+				straight, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mid := int64(straight.ExecSeconds/CyclePeriod) / 2
+
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				done, err := s.RunToCycle(ctx, mid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					t.Fatalf("program finished before midpoint cycle %d", mid)
+				}
+				snap, err := s.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				resumed, err := RunFrom(ctx, snap, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(straight, resumed) {
+					t.Errorf("resumed result diverged from straight-through run\nstraight: %+v\nresumed:  %+v", straight, resumed)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotDoesNotPerturbRun: taking a snapshot mid-run must be purely
+// observational — the interrupted simulator, continued to completion, must
+// match the uninterrupted run too (deep copies, no aliasing).
+func TestSnapshotDoesNotPerturbRun(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, "gsm").WithACC(compress.BDI{}).WithKagura(kagura.DefaultConfig())
+
+	straight, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToCycle(ctx, int64(straight.ExecSeconds/CyclePeriod)/3); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the snapshot's slices; the live simulator must not notice.
+	for i := range snap.ICache.Sets {
+		for j := range snap.ICache.Sets[i].Lines {
+			for k := range snap.ICache.Sets[i].Lines[j].Data {
+				snap.ICache.Sets[i].Lines[j].Data[k] ^= 0xFF
+			}
+		}
+	}
+	for i := range snap.Mem.Blocks {
+		for k := range snap.Mem.Blocks[i].Data {
+			snap.Mem.Blocks[i].Data[k] ^= 0xFF
+		}
+	}
+	continued, err := s.run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(straight, continued) {
+		t.Error("snapshot perturbed the run it observed")
+	}
+}
+
+// TestSnapshotForkOntoVariantConfig: the sweep warm-start path. A snapshot
+// taken under the base config must restore onto variant configs that keep
+// the structural geometry (here: a different capacitor and a different
+// Kagura policy) and run to completion.
+func TestSnapshotForkOntoVariantConfig(t *testing.T) {
+	ctx := context.Background()
+	base := testConfig(t, "jpeg").WithACC(compress.BDI{}).WithKagura(kagura.DefaultConfig())
+
+	s, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToCycle(ctx, midpointCycle(t, base)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	smaller := base
+	smaller.Capacitor = base.Capacitor.WithCapacitance(base.Capacitor.CapacitanceFarads / 2)
+	res, err := RunFrom(ctx, snap, smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("fork onto smaller capacitor did not complete")
+	}
+
+	kc := kagura.DefaultConfig()
+	kc.Trigger = kagura.TriggerVoltage
+	variant := base.WithKagura(kc)
+	res, err = RunFrom(ctx, snap, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("fork onto voltage-trigger Kagura did not complete")
+	}
+
+	// Incompatible geometry must be rejected, not crash.
+	narrow := base
+	narrow.DCache.BlockSize = base.DCache.BlockSize * 2
+	narrow.ICache.BlockSize = base.ICache.BlockSize * 2
+	if _, err := RunFrom(ctx, snap, narrow); err == nil {
+		t.Error("fork onto different block size must fail")
+	}
+}
+
+// TestSnapshotRejectsCorruptState: scalar corruption fails validation.
+func TestSnapshotRejectsCorruptState(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, "gsm")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunToCycle(ctx, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := []func(*Snapshot){
+		func(c *Snapshot) { c.ConfigHash = "" },
+		func(c *Snapshot) { c.Time = -1 },
+		func(c *Snapshot) { c.PoweredCycles = c.Time + 1 },
+		func(c *Snapshot) { c.Pos = cfg.App.Len() + 1 },
+		func(c *Snapshot) { c.LastBoundary = c.Pos + 1 },
+		func(c *Snapshot) { c.CurCommitted = -1 },
+		func(c *Snapshot) { c.Cap.Energy = -1 },
+		func(c *Snapshot) { c.Mem.Reads = -5 },
+	}
+	for i, mutate := range corrupt {
+		c := *good
+		mutate(&c)
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.RestoreSnapshot(&c); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+	var nilSnap *Snapshot
+	fresh, _ := New(cfg)
+	if err := fresh.RestoreSnapshot(nilSnap); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+// TestOracleRunsCannotSnapshot: oracle state is process-local and excluded.
+func TestOracleRunsCannotSnapshot(t *testing.T) {
+	cfg := testConfig(t, "jpeg").WithACC(compress.BDI{})
+	cfg.Oracle = NewOracle()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("oracle-mode snapshot must fail")
+	}
+	snapCfg := testConfig(t, "jpeg").WithACC(compress.BDI{})
+	s2, err := New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreSnapshot(snap); err == nil {
+		t.Error("restore into oracle-mode run must fail")
+	}
+}

@@ -1,0 +1,77 @@
+package kagura
+
+import "fmt"
+
+// Snapshot is the controller's full mutable state — the five architectural
+// registers, the confidence counter, the operating mode, the per-cycle
+// lost-reuse accounting, the estimate history, and the run statistics —
+// exported for the simulator checkpoint subsystem (internal/ckpt).
+type Snapshot struct {
+	RMem    uint32
+	RPrev   uint32
+	RThres  uint32
+	RAdjust int32
+	REvict  uint32
+
+	Counter int
+	Mode    Mode
+
+	CmLost   uint32
+	CmMemOps uint32
+	RmMemOps uint32
+
+	History []uint32
+	Stats   Stats
+}
+
+// Snapshot captures the controller state. The history slice is deep-copied.
+func (c *Controller) Snapshot() Snapshot {
+	return Snapshot{
+		RMem:     c.rMem,
+		RPrev:    c.rPrev,
+		RThres:   c.rThres,
+		RAdjust:  c.rAdjust,
+		REvict:   c.rEvict,
+		Counter:  c.counter,
+		Mode:     c.mode,
+		CmLost:   c.cmLost,
+		CmMemOps: c.cmMemOps,
+		RmMemOps: c.rmMemOps,
+		History:  append([]uint32(nil), c.history...),
+		Stats:    c.stats,
+	}
+}
+
+// Restore overwrites the controller state from a snapshot. Values a real
+// controller could never hold — a confidence counter outside the saturating
+// range, an unknown mode, or a threshold outside [minThreshold, maxThreshold]
+// — are rejected with an error so a corrupt checkpoint cannot install
+// unreachable state. A history deeper than this controller's configured
+// depth (a checkpoint forked onto a shallower-history configuration) keeps
+// only the most recent entries, matching what OnPowerFailure would retain.
+func (c *Controller) Restore(snap Snapshot) error {
+	switch {
+	case snap.Counter < 0 || snap.Counter > c.counterMax:
+		return fmt.Errorf("kagura: snapshot counter %d outside [0, %d]", snap.Counter, c.counterMax)
+	case snap.Mode != CM && snap.Mode != RM:
+		return fmt.Errorf("kagura: snapshot has unknown mode %d", snap.Mode)
+	case snap.RThres < minThreshold || snap.RThres > maxThreshold:
+		return fmt.Errorf("kagura: snapshot R_thres %d outside [%d, %d]", snap.RThres, minThreshold, maxThreshold)
+	}
+	if len(snap.History) > c.cfg.HistoryDepth {
+		snap.History = snap.History[len(snap.History)-c.cfg.HistoryDepth:]
+	}
+	c.rMem = snap.RMem
+	c.rPrev = snap.RPrev
+	c.rThres = snap.RThres
+	c.rAdjust = snap.RAdjust
+	c.rEvict = snap.REvict
+	c.counter = snap.Counter
+	c.mode = snap.Mode
+	c.cmLost = snap.CmLost
+	c.cmMemOps = snap.CmMemOps
+	c.rmMemOps = snap.RmMemOps
+	c.history = append(c.history[:0], snap.History...)
+	c.stats = snap.Stats
+	return nil
+}

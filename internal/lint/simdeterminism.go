@@ -37,6 +37,7 @@ var CorePackages = []string{
 	"kagura/internal/analytic",
 	"kagura/internal/cache",
 	"kagura/internal/capacitor",
+	"kagura/internal/ckpt",
 	"kagura/internal/compress",
 	"kagura/internal/ehs",
 	"kagura/internal/experiments",

@@ -17,6 +17,7 @@ package nvm
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -214,6 +215,59 @@ func (m *Memory) ReadRaw(n int) (latency int, energy float64) {
 	blocks := (n + m.blockSize - 1) / m.blockSize
 	m.Reads += int64(blocks)
 	return m.cfg.Params.ReadLatencyCycles * blocks, m.cfg.ReadEnergy(n)
+}
+
+// BlockState is one written block in a memory snapshot.
+type BlockState struct {
+	Addr uint32
+	Data []byte
+}
+
+// Snapshot is the memory's full mutable state, exported for the simulator
+// checkpoint subsystem (internal/ckpt). Blocks are sorted by address so the
+// snapshot of a given memory state is always the same value regardless of
+// map iteration order.
+type Snapshot struct {
+	Blocks []BlockState
+	Reads  int64
+	Writes int64
+}
+
+// Snapshot captures the written-block contents and access counters. Block
+// data is deep-copied, so the snapshot stays valid as the memory mutates.
+func (m *Memory) Snapshot() Snapshot {
+	snap := Snapshot{Reads: m.Reads, Writes: m.Writes}
+	snap.Blocks = make([]BlockState, 0, len(m.written))
+	for addr, data := range m.written {
+		snap.Blocks = append(snap.Blocks, BlockState{Addr: addr, Data: append([]byte(nil), data...)})
+	}
+	sort.Slice(snap.Blocks, func(i, j int) bool { return snap.Blocks[i].Addr < snap.Blocks[j].Addr })
+	return snap
+}
+
+// Restore overwrites the written-block store and counters from a snapshot,
+// deep-copying block data. Malformed snapshots (wrong block sizes, unaligned
+// or duplicate addresses, negative counters) are rejected with an error.
+func (m *Memory) Restore(snap Snapshot) error {
+	if snap.Reads < 0 || snap.Writes < 0 {
+		return fmt.Errorf("nvm: negative snapshot counters (reads %d, writes %d)", snap.Reads, snap.Writes)
+	}
+	written := make(map[uint32][]byte, len(snap.Blocks))
+	for i, b := range snap.Blocks {
+		if len(b.Data) != m.blockSize {
+			return fmt.Errorf("nvm: snapshot block %d has %dB data, block size is %dB", i, len(b.Data), m.blockSize)
+		}
+		if b.Addr%uint32(m.blockSize) != 0 {
+			return fmt.Errorf("nvm: snapshot block %d address %#x not block-aligned", i, b.Addr)
+		}
+		if _, dup := written[b.Addr]; dup {
+			return fmt.Errorf("nvm: snapshot block address %#x appears twice", b.Addr)
+		}
+		written[b.Addr] = append([]byte(nil), b.Data...)
+	}
+	m.written = written
+	m.Reads, m.Writes = snap.Reads, snap.Writes
+	return nil
 }
 
 // TouchedBlocks returns how many distinct blocks have been written.

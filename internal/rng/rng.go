@@ -106,6 +106,23 @@ func (r *Source) NormFloat64() float64 {
 	}
 }
 
+// State returns the generator's full internal state. Together with SetState
+// it lets checkpointing code (internal/ckpt) serialize a stream mid-sequence
+// and resume it bit-exactly: a Source restored from State() continues with
+// exactly the outputs the original would have produced.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value previously
+// obtained from State. An all-zero state is invalid for xoshiro256** (the
+// generator would emit zeros forever), so it is replaced by New(0)'s state.
+func (r *Source) SetState(s [4]uint64) {
+	if s == [4]uint64{} {
+		*r = *New(0)
+		return
+	}
+	r.s = s
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)

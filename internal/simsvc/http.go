@@ -73,7 +73,8 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
-			Jobs []RunSpec `json:"jobs"`
+			Jobs      []RunSpec  `json:"jobs"`
+			ForkPoint *ForkPoint `json:"forkPoint,omitempty"`
 		}
 		if !decodeJSON(w, r, &body) {
 			return
@@ -82,7 +83,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("simsvc: batch needs a non-empty jobs array"))
 			return
 		}
-		jobs, err := svc.SubmitBatch(body.Jobs)
+		jobs, err := svc.SubmitBatchFork(body.Jobs, body.ForkPoint)
 		statuses := make([]JobStatus, 0, len(jobs))
 		for _, j := range jobs {
 			st, jerr := svc.Job(j.ID())

@@ -17,6 +17,12 @@ type metrics struct {
 	queueCount int64
 	runNanos   int64 // worker pickup → successful completion
 	runCount   int64
+
+	// Warm-start snapshot cache outcomes. Each hit skips re-simulating the
+	// base prefix, saving warmCyclesSaved simulated cycles in total.
+	warmHits        int64
+	warmMisses      int64
+	warmCyclesSaved int64
 }
 
 // MetricsSnapshot is a point-in-time view of the service counters.
@@ -28,6 +34,13 @@ type MetricsSnapshot struct {
 	QueueDepth   int   `json:"queueDepth"`
 	Workers      int   `json:"workers"`
 	CachedKeys   int   `json:"cachedKeys"`
+
+	// Warm-start snapshot cache: reuse outcomes, cached snapshot count, and
+	// total simulated cycles skipped by reusing prefixes.
+	WarmStartHits   int64 `json:"warmStartHits"`
+	WarmStartMisses int64 `json:"warmStartMisses"`
+	WarmSnapshots   int   `json:"warmSnapshots"`
+	WarmCyclesSaved int64 `json:"warmCyclesSaved"`
 
 	// Per-stage latency: total seconds and sample counts.
 	QueueSecondsTotal float64 `json:"queueSecondsTotal"`
@@ -67,6 +80,10 @@ func (s *Service) Metrics() MetricsSnapshot {
 		QueueSamples:      s.met.queueCount,
 		RunSecondsTotal:   float64(s.met.runNanos) / 1e9,
 		RunSamples:        s.met.runCount,
+		WarmStartHits:     s.met.warmHits,
+		WarmStartMisses:   s.met.warmMisses,
+		WarmSnapshots:     len(s.warm),
+		WarmCyclesSaved:   s.met.warmCyclesSaved,
 	}
 	for _, e := range s.cache {
 		if e.ready {
@@ -104,5 +121,15 @@ func (m MetricsSnapshot) Prometheus() string {
 	w("# TYPE kagura_stage_samples_total counter\n")
 	w("kagura_stage_samples_total{stage=\"queue\"} %d\n", m.QueueSamples)
 	w("kagura_stage_samples_total{stage=\"run\"} %d\n", m.RunSamples)
+	w("# HELP kagura_warm_start_total Warm-start snapshot cache outcomes.\n")
+	w("# TYPE kagura_warm_start_total counter\n")
+	w("kagura_warm_start_total{result=\"hit\"} %d\n", m.WarmStartHits)
+	w("kagura_warm_start_total{result=\"miss\"} %d\n", m.WarmStartMisses)
+	w("# HELP kagura_warm_snapshots Cached warm-start snapshots.\n")
+	w("# TYPE kagura_warm_snapshots gauge\n")
+	w("kagura_warm_snapshots %d\n", m.WarmSnapshots)
+	w("# HELP kagura_warm_cycles_saved_total Simulated cycles skipped by warm-start reuse.\n")
+	w("# TYPE kagura_warm_cycles_saved_total counter\n")
+	w("kagura_warm_cycles_saved_total %d\n", m.WarmCyclesSaved)
 	return b.String()
 }

@@ -75,6 +75,11 @@ type Options struct {
 	// RetainJobs bounds how many finished jobs stay queryable by ID before
 	// the oldest are pruned (default 4096). The result cache is unaffected.
 	RetainJobs int
+	// WarmStartCapacity bounds the cache of warm-start snapshots keyed on
+	// (base spec, fork cycle); the oldest are evicted FIFO (default 64).
+	// Snapshots hold full simulator state, so this bound is the service's
+	// warm-start memory budget.
+	WarmStartCapacity int
 }
 
 // DefaultOptions returns production defaults.
@@ -96,6 +101,9 @@ func (o Options) withDefaults() Options {
 	if o.RetainJobs <= 0 {
 		o.RetainJobs = 4096
 	}
+	if o.WarmStartCapacity <= 0 {
+		o.WarmStartCapacity = 64
+	}
 	return o
 }
 
@@ -107,6 +115,10 @@ type Job struct {
 	spec    *RunSpec // nil for programmatic (Do) jobs
 	compute func(context.Context) (*ehs.Result, error)
 	timeout time.Duration
+	// forkCycle is the warm-start provenance: non-zero when the job was
+	// submitted through a batch forkPoint, recording the base-run cycle its
+	// simulation resumed from.
+	forkCycle int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -131,6 +143,10 @@ func (j *Job) Key() string { return j.key }
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// ForkCycle returns the base-run cycle this job warm-started from, or 0 for
+// a cold run.
+func (j *Job) ForkCycle() int64 { return j.forkCycle }
+
 // Wait blocks until the job finishes or ctx is canceled. The job keeps
 // running if ctx expires first; its result lands in the cache regardless.
 func (j *Job) Wait(ctx context.Context) (*ehs.Result, error) {
@@ -144,16 +160,19 @@ func (j *Job) Wait(ctx context.Context) (*ehs.Result, error) {
 
 // JobStatus is a point-in-time wire-level snapshot of a job.
 type JobStatus struct {
-	ID           string     `json:"id"`
-	Key          string     `json:"key"`
-	State        State      `json:"state"`
-	Cached       bool       `json:"cached,omitempty"`
-	Error        string     `json:"error,omitempty"`
-	CreatedAt    time.Time  `json:"createdAt"`
-	QueueSeconds float64    `json:"queueSeconds"`
-	RunSeconds   float64    `json:"runSeconds"`
-	Spec         *RunSpec   `json:"spec,omitempty"`
-	Result       *RunResult `json:"result,omitempty"`
+	ID           string    `json:"id"`
+	Key          string    `json:"key"`
+	State        State     `json:"state"`
+	Cached       bool      `json:"cached,omitempty"`
+	Error        string    `json:"error,omitempty"`
+	CreatedAt    time.Time `json:"createdAt"`
+	QueueSeconds float64   `json:"queueSeconds"`
+	RunSeconds   float64   `json:"runSeconds"`
+	// WarmStartFromCycle is non-zero for jobs submitted through a batch
+	// forkPoint: the base-run cycle their simulation resumed from.
+	WarmStartFromCycle int64      `json:"warmStartFromCycle,omitempty"`
+	Spec               *RunSpec   `json:"spec,omitempty"`
+	Result             *RunResult `json:"result,omitempty"`
 }
 
 // entry is one cache slot: a completed result, or an in-flight owner with
@@ -181,6 +200,11 @@ type Service struct {
 	finished []string // FIFO of terminal job IDs, for retention pruning
 	seq      uint64
 	met      metrics
+
+	// Warm-start snapshot cache: (base spec, cycle) → singleflight entry,
+	// with FIFO eviction order.
+	warm      map[warmKey]*warmEntry
+	warmOrder []warmKey
 }
 
 // New creates a Service and starts its worker pool.
@@ -194,6 +218,7 @@ func New(opts Options) *Service {
 		queue:   make(chan *Job, opts.QueueDepth),
 		cache:   make(map[string]*entry),
 		jobs:    make(map[string]*Job),
+		warm:    make(map[warmKey]*warmEntry),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -260,7 +285,7 @@ func (s *Service) Submit(spec RunSpec) (*Job, error) {
 	compute := func(ctx context.Context) (*ehs.Result, error) {
 		return ehs.RunContext(ctx, cfg)
 	}
-	return s.submit(&norm, key, compute, timeout)
+	return s.submit(&norm, key, compute, timeout, 0)
 }
 
 // SubmitBatch schedules many runs, stopping at the first invalid spec. Jobs
@@ -283,7 +308,7 @@ func (s *Service) SubmitBatch(specs []RunSpec) ([]*Job, error) {
 // an identical in-flight job). Canceling ctx abandons the wait AND cancels
 // the job if this call owns it and nobody else is coalesced onto it.
 func (s *Service) Do(ctx context.Context, key string, compute func(context.Context) (*ehs.Result, error)) (*ehs.Result, bool, error) {
-	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout)
+	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout, 0)
 	if err != nil {
 		return nil, false, err
 	}
@@ -318,7 +343,9 @@ func (s *Service) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	s.mu.Lock()
 	cached := job.cached
 	s.mu.Unlock()
-	return NewRunResult(job.spec, job.key, cached, res), nil
+	rr := NewRunResult(job.spec, job.key, cached, res)
+	rr.WarmStartFromCycle = job.forkCycle
+	return rr, nil
 }
 
 // Job returns a job's status snapshot by ID.
@@ -409,12 +436,13 @@ func (s *Service) Cancel(id string) error {
 // statusLocked builds a snapshot; callers hold s.mu.
 func (s *Service) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
-		ID:        job.id,
-		Key:       job.key,
-		State:     job.state,
-		Cached:    job.cached,
-		CreatedAt: job.created,
-		Spec:      job.spec,
+		ID:                 job.id,
+		Key:                job.key,
+		State:              job.state,
+		Cached:             job.cached,
+		CreatedAt:          job.created,
+		WarmStartFromCycle: job.forkCycle,
+		Spec:               job.spec,
 	}
 	if job.err != nil {
 		st.Error = job.err.Error()
@@ -436,13 +464,14 @@ func (s *Service) statusLocked(job *Job) JobStatus {
 	}
 	if job.state == StateDone && job.res != nil {
 		st.Result = NewRunResult(job.spec, job.key, job.cached, job.res)
+		st.Result.WarmStartFromCycle = job.forkCycle
 	}
 	return st
 }
 
 // submit registers a job and routes it: instant cache hit, coalesce onto an
 // in-flight twin, or enqueue for a worker.
-func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration) (*Job, error) {
+func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -450,14 +479,15 @@ func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context
 	}
 	s.seq++
 	job := &Job{
-		id:      fmt.Sprintf("job-%08d", s.seq),
-		key:     key,
-		spec:    spec,
-		compute: compute,
-		timeout: timeout,
-		done:    make(chan struct{}),
-		state:   StateQueued,
-		created: time.Now(),
+		id:        fmt.Sprintf("job-%08d", s.seq),
+		key:       key,
+		spec:      spec,
+		compute:   compute,
+		timeout:   timeout,
+		forkCycle: forkCycle,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		created:   time.Now(),
 	}
 	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
 	s.jobs[job.id] = job

@@ -3,11 +3,9 @@ package simsvc
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"strings"
 
 	"kagura/internal/cache"
@@ -256,59 +254,11 @@ func (sp RunSpec) Config() (ehs.Config, error) {
 // workload definition, the power trace samples, and all architectural
 // parameters. Two configs with equal keys produce byte-identical results
 // (runs are deterministic), which is what lets the service memoize across
-// clients that build configs programmatically rather than via RunSpec.
+// clients that build configs programmatically rather than via RunSpec. The
+// hashing itself lives on ehs.Config so the checkpoint subsystem can stamp
+// snapshots with the same identity.
 func ConfigKey(cfg ehs.Config) string {
-	h := sha256.New()
-	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
-
-	if app := cfg.App; app != nil {
-		w("app|%s|%d|%d\n", app.Name, app.Seed, app.Len())
-		for _, r := range app.Regions {
-			w("region|%d|%d|%d|%d\n", r.Base, r.SizeWords, r.HotWords, r.Class)
-		}
-		for _, p := range app.Phases {
-			w("phase|%d|%d|%d|", p.Iterations, p.CodeBase, p.CodeWords)
-			for _, s := range p.Body {
-				w("%d.%d.%d,", s.Kind, s.Pattern, s.Region)
-			}
-			w("\n")
-		}
-	}
-	if tr := cfg.Trace; tr != nil {
-		w("trace|%s|%d\n", tr.Name, len(tr.Samples))
-		var buf [8]byte
-		for _, s := range tr.Samples {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
-			h.Write(buf[:])
-		}
-	}
-	w("cap|%+v\n", cfg.Capacitor)
-	w("nvm|%+v\n", cfg.NVM)
-	w("icache|%s|%d|%d|%d|%d|%d|%d\n", cfg.ICache.Name, cfg.ICache.SizeBytes,
-		cfg.ICache.Ways, cfg.ICache.BlockSize, cfg.ICache.TagFactor,
-		cfg.ICache.SegmentBytes, cfg.ICache.Replacement)
-	w("dcache|%s|%d|%d|%d|%d|%d|%d\n", cfg.DCache.Name, cfg.DCache.SizeBytes,
-		cfg.DCache.Ways, cfg.DCache.BlockSize, cfg.DCache.TagFactor,
-		cfg.DCache.SegmentBytes, cfg.DCache.Replacement)
-	if cfg.Codec != nil {
-		w("codec|%s\n", cfg.Codec.Name())
-	}
-	w("acc|%t\n", cfg.UseACC)
-	if cfg.Kagura != nil {
-		w("kagura|%+v\n", *cfg.Kagura)
-	}
-	w("design|%s\n", cfg.Design)
-	w("energy|%+v\n", cfg.Energy)
-	w("decay|%d|prefetch|%t|atomic|%d|cyclelog|%t|maxsim|%g\n",
-		cfg.DecayInterval, cfg.Prefetch, cfg.AtomicRegionInstrs,
-		cfg.CollectCycleLog, cfg.MaxSimSeconds)
-	if cfg.Oracle != nil {
-		// Oracles carry run-accumulated state that cannot be fingerprinted by
-		// value; their process-unique creation ID keeps distinct oracle runs
-		// from aliasing (a pointer could be reused by the allocator after GC).
-		w("oracle|%d|%d\n", cfg.Oracle.Mode, cfg.Oracle.ID())
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return cfg.Fingerprint()
 }
 
 // EnergyJSON is the wire form of the six-way energy breakdown, in joules.
@@ -356,6 +306,9 @@ type RunResult struct {
 	Spec   *RunSpec `json:"spec,omitempty"`
 	Key    string   `json:"key,omitempty"`
 	Cached bool     `json:"cached,omitempty"`
+	// WarmStartFromCycle records warm-start provenance: the base-run cycle
+	// this job's simulation resumed from (0 for cold runs).
+	WarmStartFromCycle int64 `json:"warmStartFromCycle,omitempty"`
 
 	Completed            bool        `json:"completed"`
 	ExecSeconds          float64     `json:"execSeconds"`

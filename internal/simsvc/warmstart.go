@@ -1,0 +1,206 @@
+package simsvc
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"kagura/internal/ehs"
+)
+
+// ForkPoint asks a batch to warm-start: run the base spec once to the given
+// cycle, snapshot it, and fork every job in the batch from that snapshot
+// instead of simulating its prefix from cold. Sweeps share almost all of
+// their prefix work (a sweep varies one parameter against a common base), so
+// the service computes each (base, cycle) snapshot exactly once and reuses
+// it across the batch — and across later batches, via a bounded cache.
+type ForkPoint struct {
+	// Cycles is the simulation cycle to snapshot the base run at.
+	Cycles int64 `json:"cycles"`
+	// Base is the spec whose prefix seeds the batch; nil means the batch's
+	// first job.
+	Base *RunSpec `json:"base,omitempty"`
+}
+
+// warmKey identifies one warm-start snapshot: a base config and a cycle.
+type warmKey struct {
+	baseKey string
+	cycles  int64
+}
+
+// warmEntry is a singleflight slot for one snapshot: the first job to need
+// it computes; concurrent jobs wait on done.
+type warmEntry struct {
+	done chan struct{}
+	snap *ehs.Snapshot
+	err  error
+}
+
+// SubmitBatchFork schedules a batch like SubmitBatch, but when fork is
+// non-nil every job warm-starts from the base spec's state at fork.Cycles.
+//
+// A job whose spec equals the base resumes exactly — snapshot/resume is
+// byte-identical to a cold run, so it shares the cold result-cache key. Any
+// other job is a fork onto a variant config: an approximation (its prefix
+// was simulated under the base config), so its result is cached under a
+// derived key that can never collide with the cold key of the same spec.
+func (s *Service) SubmitBatchFork(specs []RunSpec, fork *ForkPoint) ([]*Job, error) {
+	if fork == nil || fork.Cycles == 0 {
+		return s.SubmitBatch(specs)
+	}
+	if fork.Cycles < 0 {
+		return nil, fmt.Errorf("simsvc: negative forkPoint cycles %d", fork.Cycles)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("simsvc: forked batch needs at least one job")
+	}
+	baseSpec := specs[0]
+	if fork.Base != nil {
+		baseSpec = *fork.Base
+	}
+	base, err := baseSpec.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+	}
+	baseKey, err := base.Key()
+	if err != nil {
+		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+	}
+	baseCfg, err := base.Config()
+	if err != nil {
+		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+	}
+	if baseCfg.Oracle != nil {
+		return nil, fmt.Errorf("simsvc: forkPoint base cannot be an oracle run")
+	}
+
+	jobs := make([]*Job, 0, len(specs))
+	for i, spec := range specs {
+		job, err := s.submitFork(spec, base, baseKey, baseCfg, fork.Cycles)
+		if err != nil {
+			return jobs, fmt.Errorf("simsvc: batch[%d]: %w", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// submitFork schedules one warm-started run.
+func (s *Service) submitFork(spec RunSpec, base RunSpec, baseKey string, baseCfg ehs.Config, cycles int64) (*Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	coldKey, err := norm.Key()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := norm.Config()
+	if err != nil {
+		return nil, err
+	}
+	key := coldKey
+	if coldKey != baseKey {
+		key = forkKey(baseKey, cycles, coldKey)
+	}
+	timeout := s.opts.DefaultTimeout
+	if norm.TimeoutSeconds > 0 {
+		timeout = time.Duration(norm.TimeoutSeconds * float64(time.Second))
+	}
+	compute := func(ctx context.Context) (*ehs.Result, error) {
+		snap, err := s.warmSnapshot(ctx, baseCfg, baseKey, cycles)
+		if err != nil {
+			return nil, err
+		}
+		return ehs.RunFrom(ctx, snap, cfg)
+	}
+	return s.submit(&norm, key, compute, timeout, cycles)
+}
+
+// forkKey derives the result-cache key for a warm-started variant run. The
+// base key and fork cycle are part of the identity: the same spec forked
+// from a different prefix is a different (approximate) result.
+func forkKey(baseKey string, cycles int64, coldKey string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("warmstart|%s|%d|%s", baseKey, cycles, coldKey)))
+	return hex.EncodeToString(h[:])
+}
+
+// warmSnapshot returns the base config's snapshot at the fork cycle,
+// computing it at most once per key while concurrent requests wait
+// (singleflight). A failed computation clears the slot; a waiter that
+// observes the failure retries as the new owner under its own context, so
+// one canceled job cannot poison the batch.
+func (s *Service) warmSnapshot(ctx context.Context, baseCfg ehs.Config, baseKey string, cycles int64) (*ehs.Snapshot, error) {
+	k := warmKey{baseKey: baseKey, cycles: cycles}
+	for {
+		s.mu.Lock()
+		if e, ok := s.warm[k]; ok {
+			s.met.warmHits++
+			s.met.warmCyclesSaved += cycles
+			s.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				// The owner failed and removed the slot; try to take over.
+				// Progress is guaranteed: every iteration either finds a live
+				// entry or installs one.
+				s.mu.Lock()
+				s.met.warmHits--
+				s.met.warmCyclesSaved -= cycles
+				s.mu.Unlock()
+				continue
+			}
+			return e.snap, nil
+		}
+		e := &warmEntry{done: make(chan struct{})}
+		s.warm[k] = e
+		s.warmOrder = append(s.warmOrder, k)
+		s.evictWarmLocked()
+		s.met.warmMisses++
+		s.mu.Unlock()
+
+		e.snap, e.err = computeWarmSnapshot(ctx, baseCfg, cycles)
+		s.mu.Lock()
+		if e.err != nil && s.warm[k] == e {
+			delete(s.warm, k)
+		}
+		s.mu.Unlock()
+		close(e.done)
+		return e.snap, e.err
+	}
+}
+
+// computeWarmSnapshot runs the base config to the fork cycle and snapshots.
+func computeWarmSnapshot(ctx context.Context, baseCfg ehs.Config, cycles int64) (*ehs.Snapshot, error) {
+	sim, err := ehs.New(baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.RunToCycle(ctx, cycles); err != nil {
+		return nil, err
+	}
+	return sim.Snapshot()
+}
+
+// evictWarmLocked prunes the warm-start cache FIFO beyond its capacity.
+// Evicted in-flight entries still resolve for the jobs already waiting on
+// them; they just stop being findable. Callers hold s.mu.
+func (s *Service) evictWarmLocked() {
+	for len(s.warmOrder) > s.opts.WarmStartCapacity {
+		k := s.warmOrder[0]
+		s.warmOrder = s.warmOrder[1:]
+		delete(s.warm, k)
+	}
+}
+
+// WarmStartLen returns the number of cached warm-start snapshots.
+func (s *Service) WarmStartLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.warm)
+}

@@ -191,6 +191,9 @@ type (
 	RunComparison = simsvc.Comparison
 	// ServiceMetrics is a snapshot of the service counters.
 	ServiceMetrics = simsvc.MetricsSnapshot
+	// ForkPoint warm-starts a batch from a shared checkpointed prefix
+	// (SimService.SubmitBatchFork, POST /v1/batch forkPoint field).
+	ForkPoint = simsvc.ForkPoint
 )
 
 // DefaultConfig returns the paper's Table I system for an app and trace:
