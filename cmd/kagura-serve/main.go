@@ -16,10 +16,15 @@
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
 // -grace to finish, then the worker pool is canceled and the process exits.
+//
+// For chaos drills, -chaos arms a deterministic fault-injection plan
+// (internal/faultinject JSON: {"seed":42,"rules":[{"point":"simsvc.compute",
+// "kind":"error","probability":0.05}]}); never set it in production.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"kagura"
+	"kagura/internal/faultinject"
 )
 
 func main() {
@@ -41,8 +47,30 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
 		retain  = flag.Int("retain", 4096, "finished jobs kept queryable by id")
 		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
+		writeTimeout      = flag.Duration("write-timeout", 15*time.Minute, "http.Server WriteTimeout (must cover synchronous /v1/run)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+
+		chaosPlan = flag.String("chaos", "", "fault-injection plan JSON file (staging chaos drills; see DESIGN.md §10)")
 	)
 	flag.Parse()
+
+	if *chaosPlan != "" {
+		raw, err := os.ReadFile(*chaosPlan)
+		if err != nil {
+			log.Fatalf("kagura-serve: chaos plan: %v", err)
+		}
+		var plan faultinject.Plan
+		if err := json.Unmarshal(raw, &plan); err != nil {
+			log.Fatalf("kagura-serve: chaos plan %s: %v", *chaosPlan, err)
+		}
+		if err := faultinject.Enable(plan); err != nil {
+			log.Fatalf("kagura-serve: chaos plan %s: %v", *chaosPlan, err)
+		}
+		log.Printf("kagura-serve: CHAOS PLAN ARMED — %d rules, seed %d (%s)", len(plan.Rules), plan.Seed, *chaosPlan)
+	}
 
 	opts := kagura.DefaultServiceOptions()
 	opts.Workers = *workers
@@ -54,7 +82,10 @@ func main() {
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(kagura.ServiceHandler(svc)),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

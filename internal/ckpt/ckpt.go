@@ -26,9 +26,15 @@ import (
 	"kagura/internal/acc"
 	"kagura/internal/cache"
 	"kagura/internal/ehs"
+	"kagura/internal/faultinject"
 	"kagura/internal/kagura"
 	"kagura/internal/nvm"
 )
+
+// fpDecode lets a chaos plan corrupt checkpoint bytes before parsing,
+// exercising Decode's hardening (and the service's degrade-to-cold path)
+// end to end. A no-op unless a plan arms "ckpt.decode".
+var fpDecode = faultinject.Point("ckpt.decode")
 
 // Magic identifies a kagura checkpoint file.
 const Magic = "KAGCKPT\x00"
@@ -121,6 +127,7 @@ func Encode(snap *ehs.Snapshot) ([]byte, error) {
 // version, truncation, oversized length prefixes, trailing bytes — is an
 // error; no input panics.
 func Decode(data []byte) (*ehs.Snapshot, error) {
+	data = fpDecode.CorruptBytes(data)
 	r := &reader{data: data}
 	if magic := r.take(len(Magic)); r.err == nil && string(magic) != Magic {
 		return nil, fmt.Errorf("ckpt: bad magic %q", magic)

@@ -41,6 +41,7 @@ var CorePackages = []string{
 	"kagura/internal/compress",
 	"kagura/internal/ehs",
 	"kagura/internal/experiments",
+	"kagura/internal/faultinject",
 	"kagura/internal/kagura",
 	"kagura/internal/nvm",
 	"kagura/internal/powertrace",

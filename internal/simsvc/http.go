@@ -3,7 +3,9 @@ package simsvc
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 
 	"kagura/internal/compress"
 	"kagura/internal/ehs"
@@ -21,12 +23,28 @@ import (
 //	DELETE /v1/jobs/{id}  cancel a queued or running job.
 //	GET    /v1/workloads  workload / trace / codec / design / policy catalog.
 //	GET    /healthz       liveness.
+//	GET    /readyz        readiness; 503 + Retry-After while shedding load.
 //	GET    /metrics       Prometheus text exposition.
+//
+// Every /v1 error response carries a machine-readable `code` field (the
+// ErrorCode taxonomy) beside the human-readable `error`; 503s carry a
+// Retry-After header estimating the queue drain time.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready, reason := svc.Ready(); !ready {
+			w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unready: %s\n", reason)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 
@@ -50,13 +68,13 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
 		var spec RunSpec
-		if !decodeJSON(w, r, &spec) {
+		if !decodeJSON(w, r, svc, &spec) {
 			return
 		}
 		if r.URL.Query().Get("async") != "" {
 			job, err := svc.Submit(spec)
 			if err != nil {
-				writeError(w, submitStatus(err), err)
+				writeServiceError(w, svc, err)
 				return
 			}
 			st, _ := svc.Job(job.ID())
@@ -65,7 +83,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		res, err := svc.Run(r.Context(), spec)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			writeServiceError(w, svc, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -76,11 +94,13 @@ func NewHandler(svc *Service) http.Handler {
 			Jobs      []RunSpec  `json:"jobs"`
 			ForkPoint *ForkPoint `json:"forkPoint,omitempty"`
 		}
-		if !decodeJSON(w, r, &body) {
+		if !decodeJSON(w, r, svc, &body) {
 			return
 		}
 		if len(body.Jobs) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("simsvc: batch needs a non-empty jobs array"))
+			svc.noteError(CodeBadRequest)
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				errors.New("simsvc: batch needs a non-empty jobs array"))
 			return
 		}
 		jobs, err := svc.SubmitBatchFork(body.Jobs, body.ForkPoint)
@@ -92,8 +112,13 @@ func NewHandler(svc *Service) http.Handler {
 			}
 		}
 		if err != nil {
-			writeJSON(w, submitStatus(err), map[string]any{
+			status := submitStatus(err)
+			if status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+			}
+			writeJSON(w, status, map[string]any{
 				"error":     err.Error(),
+				"code":      Classify(err),
 				"submitted": statuses,
 			})
 			return
@@ -111,7 +136,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Job(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			svc.noteError(CodeUnknownJob)
+			writeError(w, http.StatusNotFound, CodeUnknownJob, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -119,7 +145,8 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := svc.Cancel(r.PathValue("id")); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			svc.noteError(CodeUnknownJob)
+			writeError(w, http.StatusNotFound, CodeUnknownJob, err)
 			return
 		}
 		st, _ := svc.Job(r.PathValue("id"))
@@ -129,8 +156,8 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
-// submitStatus maps submission errors to HTTP statuses: overload → 503,
-// shutdown → 503, everything else (validation) → 400.
+// submitStatus maps submission errors to HTTP statuses: overload (shed or
+// full queue) → 503, shutdown → 503, everything else (validation) → 400.
 func submitStatus(err error) int {
 	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
 		return http.StatusServiceUnavailable
@@ -138,10 +165,28 @@ func submitStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+// writeServiceError renders a submission failure: taxonomy code in the body,
+// Retry-After on 503s.
+func writeServiceError(w http.ResponseWriter, svc *Service, err error) {
+	status := submitStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(svc.RetryAfterSeconds()))
+	}
+	writeError(w, status, Classify(err), err)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, svc *Service, v any) bool {
+	// Chaos point for slow or aborted request bodies; an injected latency
+	// honors the request context like a real stalled client.
+	if err := fpHTTPBody.Fire(r.Context()); err != nil {
+		svc.noteError(Classify(err))
+		writeError(w, http.StatusBadRequest, Classify(err), err)
+		return false
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		svc.noteError(CodeBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return false
 	}
 	return true
@@ -155,6 +200,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code ErrorCode, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": string(code)})
 }

@@ -23,6 +23,22 @@ type metrics struct {
 	warmHits        int64
 	warmMisses      int64
 	warmCyclesSaved int64
+
+	// Resilience counters.
+	panicsRecovered int64 // compute panics caught by a worker
+	jobsRetried     int64 // retry attempts after transient failures
+	jobsShed        int64 // submissions rejected by the load-shedding breaker
+	degradedRuns    int64 // warm starts downgraded to cold runs
+	// errorsByCode tallies terminal and rejection errors by taxonomy code.
+	errorsByCode map[ErrorCode]int64
+}
+
+// countError books one error under its taxonomy code.
+func (m *metrics) countError(code ErrorCode) {
+	if m.errorsByCode == nil {
+		m.errorsByCode = make(map[ErrorCode]int64)
+	}
+	m.errorsByCode[code]++
 }
 
 // MetricsSnapshot is a point-in-time view of the service counters.
@@ -47,6 +63,16 @@ type MetricsSnapshot struct {
 	QueueSamples      int64   `json:"queueSamples"`
 	RunSecondsTotal   float64 `json:"runSecondsTotal"`
 	RunSamples        int64   `json:"runSamples"`
+
+	// Resilience: recovered compute panics, retry attempts, shed
+	// submissions, warm starts degraded to cold runs, the breaker state, and
+	// error totals keyed by taxonomy code (only non-zero codes appear).
+	PanicsRecovered int64            `json:"panicsRecovered"`
+	JobsRetried     int64            `json:"jobsRetried"`
+	JobsShed        int64            `json:"jobsShed"`
+	DegradedRuns    int64            `json:"degradedRuns"`
+	Shedding        bool             `json:"shedding"`
+	Errors          map[string]int64 `json:"errors,omitempty"`
 }
 
 // AvgQueueSeconds returns the mean submit→pickup latency.
@@ -84,6 +110,21 @@ func (s *Service) Metrics() MetricsSnapshot {
 		WarmStartMisses:   s.met.warmMisses,
 		WarmSnapshots:     len(s.warm),
 		WarmCyclesSaved:   s.met.warmCyclesSaved,
+		PanicsRecovered:   s.met.panicsRecovered,
+		JobsRetried:       s.met.jobsRetried,
+		JobsShed:          s.met.jobsShed,
+		DegradedRuns:      s.met.degradedRuns,
+		Shedding:          s.shedding,
+	}
+	if len(s.met.errorsByCode) > 0 {
+		snap.Errors = make(map[string]int64, len(s.met.errorsByCode))
+		// Fixed iteration over the code catalog, not the map: rendering paths
+		// downstream must stay byte-stable.
+		for _, code := range errorCodes {
+			if n := s.met.errorsByCode[code]; n > 0 {
+				snap.Errors[string(code)] = n
+			}
+		}
 	}
 	for _, e := range s.cache {
 		if e.ready {
@@ -131,5 +172,31 @@ func (m MetricsSnapshot) Prometheus() string {
 	w("# HELP kagura_warm_cycles_saved_total Simulated cycles skipped by warm-start reuse.\n")
 	w("# TYPE kagura_warm_cycles_saved_total counter\n")
 	w("kagura_warm_cycles_saved_total %d\n", m.WarmCyclesSaved)
+	w("# HELP kagura_panics_recovered_total Compute panics recovered by workers.\n")
+	w("# TYPE kagura_panics_recovered_total counter\n")
+	w("kagura_panics_recovered_total %d\n", m.PanicsRecovered)
+	w("# HELP kagura_jobs_retried_total Retry attempts after transient failures.\n")
+	w("# TYPE kagura_jobs_retried_total counter\n")
+	w("kagura_jobs_retried_total %d\n", m.JobsRetried)
+	w("# HELP kagura_jobs_shed_total Submissions rejected by the load-shedding breaker.\n")
+	w("# TYPE kagura_jobs_shed_total counter\n")
+	w("kagura_jobs_shed_total %d\n", m.JobsShed)
+	w("# HELP kagura_degraded_runs Warm starts degraded to cold runs.\n")
+	w("# TYPE kagura_degraded_runs counter\n")
+	w("kagura_degraded_runs %d\n", m.DegradedRuns)
+	w("# HELP kagura_shedding Load-shedding breaker state (1 = open).\n")
+	w("# TYPE kagura_shedding gauge\n")
+	shedding := 0
+	if m.Shedding {
+		shedding = 1
+	}
+	w("kagura_shedding %d\n", shedding)
+	w("# HELP kagura_errors_total Errors by taxonomy code.\n")
+	w("# TYPE kagura_errors_total counter\n")
+	// Every code renders every time, in catalog order — never by ranging the
+	// map — so the exposition stays byte-stable.
+	for _, code := range errorCodes {
+		w("kagura_errors_total{code=%q} %d\n", string(code), m.Errors[string(code)])
+	}
 	return b.String()
 }

@@ -1,0 +1,639 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kagura/internal/ehs"
+	"kagura/internal/faultinject"
+)
+
+// armChaos enables a fault plan for one test, disarming on cleanup.
+func armChaos(t *testing.T, p faultinject.Plan) {
+	t.Helper()
+	if err := faultinject.Enable(p); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+}
+
+// fastRetry returns options with millisecond backoff so retry tests run fast.
+func fastRetry(opts Options) Options {
+	opts.RetryBaseDelay = time.Millisecond
+	opts.RetryMaxDelay = 4 * time.Millisecond
+	return opts
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	svc := newTestService(t, fastRetry(Options{Workers: 1, RetryMax: 2}))
+	var attempts atomic.Int64
+	flaky := func(ctx context.Context) (*ehs.Result, error) {
+		if attempts.Add(1) < 3 {
+			return nil, &faultinject.InjectedError{Point: "test", Occurrence: attempts.Load()}
+		}
+		return &ehs.Result{Completed: true}, nil
+	}
+	res, _, err := svc.Do(context.Background(), "transient", flaky)
+	if err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("wrong result")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+	if m := svc.Metrics(); m.JobsRetried != 2 {
+		t.Fatalf("JobsRetried = %d, want 2", m.JobsRetried)
+	}
+}
+
+func TestPanicRecoveredAndRetried(t *testing.T) {
+	svc := newTestService(t, fastRetry(Options{Workers: 1, RetryMax: 2}))
+	var attempts atomic.Int64
+	panicky := func(ctx context.Context) (*ehs.Result, error) {
+		if attempts.Add(1) == 1 {
+			panic("injected kaboom")
+		}
+		return &ehs.Result{Completed: true}, nil
+	}
+	if _, _, err := svc.Do(context.Background(), "panicky", panicky); err != nil {
+		t.Fatalf("job failed despite panic retry: %v", err)
+	}
+	m := svc.Metrics()
+	if m.PanicsRecovered != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", m.PanicsRecovered)
+	}
+	if m.JobsRetried != 1 {
+		t.Fatalf("JobsRetried = %d, want 1", m.JobsRetried)
+	}
+}
+
+func TestPanicExhaustsRetries(t *testing.T) {
+	svc := newTestService(t, fastRetry(Options{Workers: 1, RetryMax: 1}))
+	always := func(ctx context.Context) (*ehs.Result, error) { panic("forever broken") }
+	_, _, err := svc.Do(context.Background(), "doomed", always)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "simsvc: job panicked: forever broken") {
+		t.Fatalf("panic error text changed: %v", err)
+	}
+	if code := Classify(err); code != CodePanic {
+		t.Fatalf("Classify = %s, want %s", code, CodePanic)
+	}
+	m := svc.Metrics()
+	if m.PanicsRecovered != 2 {
+		t.Fatalf("PanicsRecovered = %d, want 2 (attempt + retry)", m.PanicsRecovered)
+	}
+	if m.Errors["panic"] != 1 {
+		t.Fatalf("Errors[panic] = %d, want 1", m.Errors["panic"])
+	}
+}
+
+// TestPlainErrorsNotRetried pins the retry policy's scope: deterministic
+// failures run exactly once (the simulator is a pure function).
+func TestPlainErrorsNotRetried(t *testing.T) {
+	svc := newTestService(t, fastRetry(Options{Workers: 1, RetryMax: 3}))
+	var attempts atomic.Int64
+	deterministic := func(ctx context.Context) (*ehs.Result, error) {
+		attempts.Add(1)
+		return nil, errors.New("bad geometry")
+	}
+	if _, _, err := svc.Do(context.Background(), "det-fail", deterministic); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("deterministic failure ran %d times, want 1", got)
+	}
+}
+
+// TestCancelAbortsRetryBackoff is the satellite regression: canceling a job
+// parked in its retry backoff must settle it immediately — the retry must
+// not fire after cancellation, and the wait must not run out its (here
+// absurdly long) backoff delay.
+func TestCancelAbortsRetryBackoff(t *testing.T) {
+	svc := newTestService(t, Options{
+		Workers: 1, RetryMax: 3,
+		RetryBaseDelay: time.Hour, RetryMaxDelay: time.Hour,
+	})
+	var attempts atomic.Int64
+	transient := func(ctx context.Context) (*ehs.Result, error) {
+		attempts.Add(1)
+		return nil, &faultinject.InjectedError{Point: "test", Occurrence: 1}
+	}
+	job, err := svc.submit(nil, "backoff-cancel", transient, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for attempts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first attempt never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The attempt has failed; give the worker a moment to enter the backoff
+	// wait (two mutex hops away), then cancel into it.
+	time.Sleep(100 * time.Millisecond)
+	if err := svc.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, werr := job.Wait(waitCtx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s to settle a job in backoff", elapsed)
+	}
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("canceled job settled with %v, want context.Canceled", werr)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("retry fired after cancellation: %d attempts", got)
+	}
+}
+
+func TestLoadSheddingBreaker(t *testing.T) {
+	svc := newTestService(t, Options{
+		Workers: 1, QueueDepth: 10,
+		ShedHighWater: 0.5, ShedLowWater: 0.2,
+	})
+	release := occupyWorker(t, svc) // hog also unblocks on ctx.Done at svc.Close
+
+	gate := make(chan struct{})
+	blocker := func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-gate:
+			return &ehs.Result{Completed: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Fill the queue to the high-water mark (5 of 10); the next submission
+	// must be shed.
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		job, err := svc.submit(nil, "shed-"+string(rune('a'+i)), blocker, 0, 0)
+		if err != nil {
+			t.Fatalf("submit %d below high water failed: %v", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	_, err := svc.submit(nil, "shed-overflow", blocker, 0, 0)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow submit: %v, want ErrOverloaded", err)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatal("ErrOverloaded must wrap ErrQueueFull for legacy backpressure handling")
+	}
+	if ready, reason := svc.Ready(); ready {
+		t.Fatal("shedding service reported ready")
+	} else if reason != "shedding load" {
+		t.Fatalf("readiness reason = %q", reason)
+	}
+	m := svc.Metrics()
+	if m.JobsShed < 1 {
+		t.Fatalf("JobsShed = %d, want >= 1", m.JobsShed)
+	}
+	if !m.Shedding {
+		t.Fatal("metrics snapshot does not show the breaker open")
+	}
+	if m.Errors["overloaded"] < 1 {
+		t.Fatalf("Errors[overloaded] = %d, want >= 1", m.Errors["overloaded"])
+	}
+	if svc.RetryAfterSeconds() < 1 {
+		t.Fatal("RetryAfterSeconds must be at least 1")
+	}
+
+	// Drain: the breaker must close once occupancy falls below low water.
+	close(gate)
+	close(release)
+	for _, j := range jobs {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := j.Wait(ctx); err != nil {
+			cancel()
+			t.Fatalf("queued job failed after drain: %v", err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ready, _ := svc.Ready(); ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the queue drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorCode
+	}{
+		{ErrOverloaded, CodeOverloaded},
+		{ErrQueueFull, CodeQueueFull},
+		{ErrClosed, CodeServiceClosed},
+		{ErrUnknownJob, CodeUnknownJob},
+		{context.DeadlineExceeded, CodeTimeout},
+		{context.Canceled, CodeCanceled},
+		{&panicError{val: "x"}, CodePanic},
+		{&faultinject.InjectedError{Point: "p"}, CodeFaultInjected},
+		{errors.New("anything else"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+	if Classify(nil) != "" {
+		t.Error("Classify(nil) must be empty")
+	}
+}
+
+// TestCorruptWarmSnapshotDegradesToCold is the acceptance criterion: a
+// corrupt checkpoint in the warm-start cache must not fail the forked job —
+// the service degrades to a cold run, the result matches a cold run exactly,
+// and kagura_degraded_runs increments.
+func TestCorruptWarmSnapshotDegradesToCold(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 2})
+	base := quickSpec()
+	norm, err := base.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey, err := norm.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg, err := norm.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expected result, and a guaranteed mid-run fork cycle derived from it.
+	cold, err := ehs.RunContext(context.Background(), baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := int64(cold.ExecSeconds/5e-9) / 2
+	if cycles < 1 {
+		t.Fatal("base run too short to fork")
+	}
+
+	// Craft a structurally corrupt snapshot: run the base to the fork cycle,
+	// snapshot, then wreck the I-cache geometry so RestoreSnapshot rejects it
+	// (the same failure mode as a corrupted decoded checkpoint).
+	sim, err := ehs.New(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunToCycle(context.Background(), cycles); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ICache.Sets) < 2 {
+		t.Fatalf("test needs >= 2 icache sets, have %d", len(snap.ICache.Sets))
+	}
+	snap.ICache.Sets = snap.ICache.Sets[:1]
+
+	// Plant it in the warm cache as a resolved entry.
+	done := make(chan struct{})
+	close(done)
+	k := warmKey{baseKey: baseKey, cycles: cycles}
+	svc.mu.Lock()
+	svc.warm[k] = &warmEntry{done: done, snap: snap}
+	svc.warmOrder = append(svc.warmOrder, k)
+	svc.mu.Unlock()
+
+	jobs, err := svc.SubmitBatchFork([]RunSpec{base}, &ForkPoint{Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := jobs[0].Wait(ctx)
+	if err != nil {
+		t.Fatalf("job failed instead of degrading: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("degraded run did not complete")
+	}
+	if m := svc.Metrics(); m.DegradedRuns != 1 {
+		t.Fatalf("DegradedRuns = %d, want 1", m.DegradedRuns)
+	}
+	// The degraded result must be exactly the cold run of the same config.
+	if !reflect.DeepEqual(res, cold) {
+		t.Fatal("degraded run diverged from a cold run of the same config")
+	}
+}
+
+// TestWarmOwnerFailureRetry covers the owner-failure path with an injected
+// fault instead of sleeps: the first snapshot computation fails, its job
+// degrades to a cold run, and the snapshot is recomputed (by the coalesced
+// waiter promoted to owner, or by a fresh owner) so the other job still
+// warm-starts. Runs under -race in CI.
+func TestWarmOwnerFailureRetry(t *testing.T) {
+	armChaos(t, faultinject.Plan{Seed: 11, Rules: []faultinject.Rule{
+		{Point: "simsvc.warmstart.snapshot", Kind: faultinject.KindError, Nth: 1, Message: "owner failure"},
+	}})
+	specs := sweepSpecs()[:2]
+	svc := newTestService(t, Options{Workers: 2})
+	jobs, err := svc.SubmitBatchFork(specs, &ForkPoint{Cycles: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, job := range jobs {
+		res, err := job.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+		if !res.Completed {
+			t.Fatalf("job %d did not complete", i)
+		}
+	}
+	if got := faultinject.Fires("simsvc.warmstart.snapshot"); got != 1 {
+		t.Fatalf("snapshot point fired %d times, want 1", got)
+	}
+	m := svc.Metrics()
+	if m.DegradedRuns != 1 {
+		t.Fatalf("DegradedRuns = %d, want 1 (the failed owner degrades)", m.DegradedRuns)
+	}
+	if m.WarmStartMisses != 2 {
+		t.Fatalf("WarmStartMisses = %d, want 2 (failed owner + recomputation)", m.WarmStartMisses)
+	}
+}
+
+// TestWarmEvictionRacesFork exercises FIFO eviction racing in-flight forks:
+// injected snapshot latency holds owners in flight while an injected evict
+// fault prunes the cache early. Jobs already waiting on an evicted entry
+// must still resolve. Runs under -race in CI.
+func TestWarmEvictionRacesFork(t *testing.T) {
+	armChaos(t, faultinject.Plan{Seed: 13, Rules: []faultinject.Rule{
+		{Point: "simsvc.warmstart.snapshot", Kind: faultinject.KindLatency, Every: 1, LatencyMicros: 30_000},
+		{Point: "simsvc.warm.evict", Kind: faultinject.KindError, Every: 1},
+	}})
+	svc := newTestService(t, Options{Workers: 4, WarmStartCapacity: 2})
+	specs := sweepSpecs()
+	var jobs []*Job
+	for _, cycles := range []int64{10_000, 20_000, 30_000} {
+		batch, err := svc.SubmitBatchFork(specs, &ForkPoint{Cycles: cycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, batch...)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i, job := range jobs {
+		res, err := job.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d failed: %v", i, err)
+		}
+		if !res.Completed {
+			t.Fatalf("job %d did not complete", i)
+		}
+	}
+	if n := svc.WarmStartLen(); n > 2 {
+		t.Fatalf("warm cache holds %d snapshots, capacity 2", n)
+	}
+	if faultinject.Fires("simsvc.warm.evict") == 0 {
+		t.Fatal("eviction chaos never fired; the race was not exercised")
+	}
+}
+
+func TestHTTPErrorCodes(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	// Readiness of an idle service.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Malformed JSON is a bad_request.
+	resp, err = http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Code != string(CodeBadRequest) {
+		t.Fatalf("bad JSON code = %q, want %q", body.Code, CodeBadRequest)
+	}
+
+	// Missing jobs carry unknown_job.
+	resp, err = http.Get(srv.URL + "/v1/jobs/job-does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job = %d, want 404", resp.StatusCode)
+	}
+	body.Code = ""
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Code != string(CodeUnknownJob) {
+		t.Fatalf("missing job code = %q, want %q", body.Code, CodeUnknownJob)
+	}
+
+	// An invalid spec carries invalid_spec.
+	resp, err = http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"app":"no-such-workload","scale":0.01}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec = %d, want 400", resp.StatusCode)
+	}
+	body.Code = ""
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Code != string(CodeInvalidSpec) {
+		t.Fatalf("invalid spec code = %q, want %q", body.Code, CodeInvalidSpec)
+	}
+}
+
+// TestHTTPInjectedBodyFault arms the request-body chaos point and checks the
+// fault surfaces as a machine-readable fault_injected error.
+func TestHTTPInjectedBodyFault(t *testing.T) {
+	armChaos(t, faultinject.Plan{Seed: 3, Rules: []faultinject.Rule{
+		{Point: "simsvc.http.body", Kind: faultinject.KindError, Every: 1, Message: "connection chewed by chaos"},
+	}})
+	_, srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"app":"jpeg","scale":0.004}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("injected body fault = %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Code != string(CodeFaultInjected) {
+		t.Fatalf("code = %q, want %q", body.Code, CodeFaultInjected)
+	}
+	if !strings.Contains(body.Error, "connection chewed by chaos") {
+		t.Fatalf("error text lost the injection message: %q", body.Error)
+	}
+}
+
+// TestHTTPShedRetryAfter drives the service into load shedding and checks
+// that the 503 carries a Retry-After header and overloaded code, and that
+// /readyz mirrors the breaker.
+func TestHTTPShedRetryAfter(t *testing.T) {
+	svc := New(Options{
+		Workers: 1, QueueDepth: 4,
+		ShedHighWater: 0.5, ShedLowWater: 0.25,
+	})
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	release := occupyWorker(t, svc)
+	defer close(release)
+	gate := make(chan struct{})
+	defer close(gate)
+	blocker := func(ctx context.Context) (*ehs.Result, error) {
+		select {
+		case <-gate:
+			return &ehs.Result{Completed: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// High water is max(1, 4*0.5) = 2 queued jobs; fill to it.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.submit(nil, "http-shed-"+string(rune('a'+i)), blocker, 0, 0); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/run?async=1", "application/json",
+		strings.NewReader(`{"app":"jpeg","scale":0.004}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed submit = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 is missing the Retry-After header")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+	var body struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Code != string(CodeOverloaded) {
+		t.Fatalf("shed code = %q, want %q", body.Code, CodeOverloaded)
+	}
+
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while shedding = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz 503 is missing Retry-After")
+	}
+}
+
+// TestMetricsExposeResilienceSeries checks the new exposition lines exist and
+// that every taxonomy code renders even at zero.
+func TestMetricsExposeResilienceSeries(t *testing.T) {
+	svc := newTestService(t, Options{Workers: 1})
+	text := svc.Metrics().Prometheus()
+	for _, want := range []string{
+		"kagura_panics_recovered_total 0\n",
+		"kagura_jobs_retried_total 0\n",
+		"kagura_jobs_shed_total 0\n",
+		"kagura_degraded_runs 0\n",
+		"kagura_shedding 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+	for _, code := range errorCodes {
+		want := fmt.Sprintf("kagura_errors_total{code=%q} 0\n", string(code))
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+}
+
+// TestInjectedComputePanicIsRecovered is the regression for the chaos drill
+// that killed a live server: a KindPanic injection at simsvc.compute fires
+// outside the user compute function, and must still be caught by the
+// worker's recover shield — an injected panic is a simulated compute crash,
+// not a worker kill.
+func TestInjectedComputePanicIsRecovered(t *testing.T) {
+	armChaos(t, faultinject.Plan{Seed: 21, Rules: []faultinject.Rule{
+		{Point: "simsvc.compute", Kind: faultinject.KindPanic, Every: 1, Message: "drill crash"},
+	}})
+	svc := newTestService(t, fastRetry(Options{Workers: 1, RetryMax: 1}))
+	_, _, err := svc.Do(context.Background(), "inj-panic", func(ctx context.Context) (*ehs.Result, error) {
+		return &ehs.Result{Completed: true}, nil
+	})
+	if err == nil {
+		t.Fatal("every attempt panics; the job cannot succeed")
+	}
+	if code := Classify(err); code != CodePanic {
+		t.Fatalf("Classify = %s, want %s", code, CodePanic)
+	}
+	m := svc.Metrics()
+	if m.PanicsRecovered != 2 {
+		t.Fatalf("PanicsRecovered = %d, want 2 (attempt + retry)", m.PanicsRecovered)
+	}
+	if m.JobsRetried != 1 {
+		t.Fatalf("JobsRetried = %d, want 1", m.JobsRetried)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"kagura/internal/ehs"
+	"kagura/internal/rng"
 )
 
 // Errors returned by submission.
@@ -44,6 +45,11 @@ var (
 	ErrClosed = errors.New("simsvc: service closed")
 	// ErrQueueFull reports that the bounded job queue is at capacity.
 	ErrQueueFull = errors.New("simsvc: queue full")
+	// ErrOverloaded reports that the load-shedding breaker is open: queue
+	// occupancy crossed ShedHighWater and has not yet drained below
+	// ShedLowWater. It wraps ErrQueueFull so callers treating "no capacity"
+	// uniformly keep working; HTTP maps it to 503 + Retry-After.
+	ErrOverloaded = fmt.Errorf("simsvc: overloaded, load shed: %w", ErrQueueFull)
 	// ErrUnknownJob reports a lookup of a job ID the service doesn't know
 	// (never submitted, or pruned after retention).
 	ErrUnknownJob = errors.New("simsvc: unknown job")
@@ -80,6 +86,32 @@ type Options struct {
 	// Snapshots hold full simulator state, so this bound is the service's
 	// warm-start memory budget.
 	WarmStartCapacity int
+
+	// RetryMax bounds retries after a transient compute failure — a
+	// recovered panic or an error exposing Temporary() true. Deterministic
+	// failures are never retried: the simulator is a pure function, so they
+	// fail identically every time. Default 2 (three attempts total); -1
+	// disables retries.
+	RetryMax int
+	// RetryBaseDelay is the first retry's backoff (default 25ms); each
+	// further retry doubles it, capped at RetryMaxDelay (default 2s), with
+	// seeded jitter in [d/2, d). The wait aborts instantly when the job is
+	// canceled.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff (default 2s).
+	RetryMaxDelay time.Duration
+	// RetrySeed seeds the jitter stream (default 1); fixed so a given
+	// service configuration backs off reproducibly.
+	RetrySeed uint64
+
+	// ShedHighWater opens the load-shedding breaker when queue occupancy
+	// reaches this fraction of QueueDepth (default 0.9): submissions fail
+	// fast with ErrOverloaded instead of absorbing the last queue slots.
+	ShedHighWater float64
+	// ShedLowWater closes the breaker once occupancy drains below this
+	// fraction (default 0.5). The gap is hysteresis: the breaker does not
+	// flap at the boundary.
+	ShedLowWater float64
 }
 
 // DefaultOptions returns production defaults.
@@ -103,6 +135,27 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WarmStartCapacity <= 0 {
 		o.WarmStartCapacity = 64
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 2
+	}
+	if o.RetryMax < 0 {
+		o.RetryMax = 0 // -1 and below mean "no retries"
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 2 * time.Second
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
+	}
+	if o.ShedHighWater <= 0 || o.ShedHighWater > 1 {
+		o.ShedHighWater = 0.9
+	}
+	if o.ShedLowWater <= 0 || o.ShedLowWater >= o.ShedHighWater {
+		o.ShedLowWater = o.ShedHighWater / 2
 	}
 	return o
 }
@@ -200,6 +253,10 @@ type Service struct {
 	finished []string // FIFO of terminal job IDs, for retention pruning
 	seq      uint64
 	met      metrics
+	// shedding is the load-shedding breaker state (see Options.ShedHighWater).
+	shedding bool
+	// retryRng draws backoff jitter; seeded, so backoff is reproducible.
+	retryRng *rng.Source
 
 	// Warm-start snapshot cache: (base spec, cycle) → singleflight entry,
 	// with FIFO eviction order.
@@ -219,6 +276,8 @@ func New(opts Options) *Service {
 		cache:   make(map[string]*entry),
 		jobs:    make(map[string]*Job),
 		warm:    make(map[warmKey]*warmEntry),
+
+		retryRng: rng.New(opts.RetrySeed),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -268,15 +327,15 @@ func (s *Service) Close() {
 func (s *Service) Submit(spec RunSpec) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	key, err := norm.Key()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	cfg, err := norm.Config()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	timeout := s.opts.DefaultTimeout
 	if norm.TimeoutSeconds > 0 {
@@ -424,6 +483,7 @@ func (s *Service) Cancel(id string) error {
 		// remaining waiters. finishJob delivers the outcome to them when the
 		// computation returns, and releases the context then.
 		s.met.jobsCanceled++
+		s.met.countError(CodeCanceled)
 		job.res, job.err, job.cached, job.finished = nil, context.Canceled, false, now
 		job.state = StateCanceled
 		close(job.done)
@@ -504,18 +564,86 @@ func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context
 		job.cancel()
 		s.retainLocked(job)
 	case e != nil:
+		if ierr := fpCoalesce.FireErr(); ierr != nil {
+			delete(s.jobs, job.id)
+			job.cancel()
+			s.met.countError(Classify(ierr))
+			return nil, ierr
+		}
 		e.waiters = append(e.waiters, job)
 	default:
+		if s.shedLocked() {
+			delete(s.jobs, job.id)
+			job.cancel()
+			s.met.jobsShed++
+			s.met.countError(CodeOverloaded)
+			return nil, ErrOverloaded
+		}
 		select {
 		case s.queue <- job:
 			s.cache[key] = &entry{owner: job}
 		default:
 			delete(s.jobs, job.id)
 			job.cancel()
+			s.met.countError(CodeQueueFull)
 			return nil, ErrQueueFull
 		}
 	}
 	return job, nil
+}
+
+// shedLocked evaluates and returns the load-shedding breaker: it opens when
+// queue occupancy reaches the high-water mark and closes only once it drains
+// below the low-water mark. Callers hold s.mu.
+func (s *Service) shedLocked() bool {
+	depth := len(s.queue)
+	high := int(float64(s.opts.QueueDepth) * s.opts.ShedHighWater)
+	if high < 1 {
+		high = 1
+	}
+	low := int(float64(s.opts.QueueDepth) * s.opts.ShedLowWater)
+	switch {
+	case !s.shedding && depth >= high:
+		s.shedding = true
+	case s.shedding && depth <= low:
+		s.shedding = false
+	}
+	return s.shedding
+}
+
+// Ready reports whether the service is accepting new work, with a reason
+// when it is not — the /readyz contract. A shedding service is alive
+// (healthz) but not ready; probes re-evaluate the breaker, so readiness
+// recovers as soon as the queue drains.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return false, "closed"
+	case s.shedLocked():
+		return false, "shedding load"
+	default:
+		return true, "ok"
+	}
+}
+
+// RetryAfterSeconds estimates when rejected work is worth retrying: the time
+// for the current queue to drain through the worker pool at the observed
+// mean run latency, never less than one second. Serves the Retry-After
+// header on 503 responses.
+func (s *Service) RetryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var mean float64
+	if s.met.runCount > 0 {
+		mean = float64(s.met.runNanos) / 1e9 / float64(s.met.runCount)
+	}
+	secs := int(mean*float64(len(s.queue))/float64(s.opts.Workers)) + 1
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // worker consumes the queue until the service closes.
@@ -579,15 +707,74 @@ func (s *Service) runJob(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, job.timeout)
 		defer cancel()
 	}
-	res, err := safeCompute(ctx, job.compute)
+	// The injection points run inside safeCompute's recover shield: an
+	// injected panic must be indistinguishable from a compute crash, not a
+	// worker kill.
+	attempt := func() (*ehs.Result, error) {
+		return s.safeCompute(ctx, func(ctx context.Context) (*ehs.Result, error) {
+			if ierr := fpCompute.Fire(ctx); ierr != nil {
+				return nil, ierr
+			}
+			res, err := job.compute(ctx)
+			if err == nil {
+				if ierr := fpCacheInsert.Fire(ctx); ierr != nil {
+					return nil, ierr
+				}
+			}
+			return res, err
+		})
+	}
+	res, err := attempt()
+	for tries := 1; err != nil && tries <= s.opts.RetryMax && retryable(err) && ctx.Err() == nil; tries++ {
+		if !s.backoff(ctx, tries) {
+			// Canceled mid-backoff: settle as canceled now — the retry must
+			// not fire after cancellation.
+			err = ctx.Err()
+			break
+		}
+		s.mu.Lock()
+		s.met.jobsRetried++
+		s.mu.Unlock()
+		res, err = attempt()
+	}
 	s.finishJob(job, res, err)
 }
 
-// safeCompute shields the worker pool from panicking compute functions.
-func safeCompute(ctx context.Context, compute func(context.Context) (*ehs.Result, error)) (res *ehs.Result, err error) {
+// backoff waits out the capped exponential backoff before retry number
+// `attempt`, with seeded jitter in [d/2, d). Returns false immediately if
+// ctx is canceled first.
+func (s *Service) backoff(ctx context.Context, attempt int) bool {
+	d := s.opts.RetryBaseDelay
+	for i := 1; i < attempt && d < s.opts.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > s.opts.RetryMaxDelay {
+		d = s.opts.RetryMaxDelay
+	}
+	s.mu.Lock()
+	jitter := s.retryRng.Float64()
+	s.mu.Unlock()
+	d = d/2 + time.Duration(float64(d/2)*jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// safeCompute shields the worker pool from panicking compute functions. The
+// recovered panic surfaces as a retryable *panicError and is counted in
+// kagura_panics_recovered_total.
+func (s *Service) safeCompute(ctx context.Context, compute func(context.Context) (*ehs.Result, error)) (res *ehs.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("simsvc: job panicked: %v", r)
+			s.mu.Lock()
+			s.met.panicsRecovered++
+			s.mu.Unlock()
+			res, err = nil, &panicError{val: r}
 		}
 	}()
 	return compute(ctx)
@@ -686,9 +873,20 @@ func (s *Service) finishOneLocked(job *Job, res *ehs.Result, err error, cached b
 	default:
 		job.state = StateFailed
 	}
+	if err != nil {
+		s.met.countError(Classify(err))
+	}
 	close(job.done)
 	job.cancel()
 	s.retainLocked(job)
+}
+
+// noteError books a taxonomy-coded failure that never became a job (request
+// validation, HTTP-level rejections); job failures are booked at finish.
+func (s *Service) noteError(code ErrorCode) {
+	s.mu.Lock()
+	s.met.countError(code)
+	s.mu.Unlock()
 }
 
 // retainLocked records a terminal job and prunes beyond the retention bound.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"time"
 
@@ -51,10 +52,10 @@ func (s *Service) SubmitBatchFork(specs []RunSpec, fork *ForkPoint) ([]*Job, err
 		return s.SubmitBatch(specs)
 	}
 	if fork.Cycles < 0 {
-		return nil, fmt.Errorf("simsvc: negative forkPoint cycles %d", fork.Cycles)
+		return nil, s.badSpec(fmt.Errorf("simsvc: negative forkPoint cycles %d", fork.Cycles))
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("simsvc: forked batch needs at least one job")
+		return nil, s.badSpec(fmt.Errorf("simsvc: forked batch needs at least one job"))
 	}
 	baseSpec := specs[0]
 	if fork.Base != nil {
@@ -62,18 +63,18 @@ func (s *Service) SubmitBatchFork(specs []RunSpec, fork *ForkPoint) ([]*Job, err
 	}
 	base, err := baseSpec.Normalize()
 	if err != nil {
-		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+		return nil, s.badSpec(fmt.Errorf("simsvc: forkPoint base: %w", err))
 	}
 	baseKey, err := base.Key()
 	if err != nil {
-		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+		return nil, s.badSpec(fmt.Errorf("simsvc: forkPoint base: %w", err))
 	}
 	baseCfg, err := base.Config()
 	if err != nil {
-		return nil, fmt.Errorf("simsvc: forkPoint base: %w", err)
+		return nil, s.badSpec(fmt.Errorf("simsvc: forkPoint base: %w", err))
 	}
 	if baseCfg.Oracle != nil {
-		return nil, fmt.Errorf("simsvc: forkPoint base cannot be an oracle run")
+		return nil, s.badSpec(fmt.Errorf("simsvc: forkPoint base cannot be an oracle run"))
 	}
 
 	jobs := make([]*Job, 0, len(specs))
@@ -91,15 +92,15 @@ func (s *Service) SubmitBatchFork(specs []RunSpec, fork *ForkPoint) ([]*Job, err
 func (s *Service) submitFork(spec RunSpec, base RunSpec, baseKey string, baseCfg ehs.Config, cycles int64) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	coldKey, err := norm.Key()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	cfg, err := norm.Config()
 	if err != nil {
-		return nil, err
+		return nil, s.badSpec(err)
 	}
 	key := coldKey
 	if coldKey != baseKey {
@@ -111,12 +112,35 @@ func (s *Service) submitFork(spec RunSpec, base RunSpec, baseKey string, baseCfg
 	}
 	compute := func(ctx context.Context) (*ehs.Result, error) {
 		snap, err := s.warmSnapshot(ctx, baseCfg, baseKey, cycles)
-		if err != nil {
+		if err == nil {
+			err = fpWarmFork.Fire(ctx)
+		}
+		if err == nil {
+			res, rerr := ehs.RunFrom(ctx, snap, cfg)
+			if rerr == nil {
+				return res, nil
+			}
+			err = rerr
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
-		return ehs.RunFrom(ctx, snap, cfg)
+		// The warm start failed for a reason other than cancellation — a
+		// corrupt or structurally incompatible snapshot, an owner failure, an
+		// injected fault. The fork was only ever an optimization: degrade to
+		// a cold run of the same config so the job still succeeds, and count
+		// the downgrade (kagura_degraded_runs).
+		s.noteDegraded()
+		return ehs.RunContext(ctx, cfg)
 	}
 	return s.submit(&norm, key, compute, timeout, cycles)
+}
+
+// noteDegraded counts one warm start abandoned for a cold run.
+func (s *Service) noteDegraded() {
+	s.mu.Lock()
+	s.met.degradedRuns++
+	s.mu.Unlock()
 }
 
 // forkKey derives the result-cache key for a warm-started variant run. The
@@ -177,6 +201,9 @@ func (s *Service) warmSnapshot(ctx context.Context, baseCfg ehs.Config, baseKey 
 
 // computeWarmSnapshot runs the base config to the fork cycle and snapshots.
 func computeWarmSnapshot(ctx context.Context, baseCfg ehs.Config, cycles int64) (*ehs.Snapshot, error) {
+	if err := fpWarmSnapshot.Fire(ctx); err != nil {
+		return nil, err
+	}
 	sim, err := ehs.New(baseCfg)
 	if err != nil {
 		return nil, err
@@ -191,7 +218,13 @@ func computeWarmSnapshot(ctx context.Context, baseCfg ehs.Config, cycles int64) 
 // Evicted in-flight entries still resolve for the jobs already waiting on
 // them; they just stop being findable. Callers hold s.mu.
 func (s *Service) evictWarmLocked() {
-	for len(s.warmOrder) > s.opts.WarmStartCapacity {
+	limit := s.opts.WarmStartCapacity
+	if fpWarmEvict.FireErr() != nil && limit > 0 {
+		// Injected fault: evict one entry prematurely, forcing forks to race
+		// the eviction of a snapshot they may still be waiting on.
+		limit--
+	}
+	for len(s.warmOrder) > limit {
 		k := s.warmOrder[0]
 		s.warmOrder = s.warmOrder[1:]
 		delete(s.warm, k)

@@ -194,7 +194,14 @@ type (
 	// ForkPoint warm-starts a batch from a shared checkpointed prefix
 	// (SimService.SubmitBatchFork, POST /v1/batch forkPoint field).
 	ForkPoint = simsvc.ForkPoint
+	// ServiceErrorCode is the machine-readable error taxonomy carried in the
+	// `code` field of /v1 error responses and kagura_errors_total{code}.
+	ServiceErrorCode = simsvc.ErrorCode
 )
+
+// ClassifyServiceError maps any service error to its taxonomy code
+// (DESIGN.md §10.3).
+func ClassifyServiceError(err error) ServiceErrorCode { return simsvc.Classify(err) }
 
 // DefaultConfig returns the paper's Table I system for an app and trace:
 // 256B 2-way I/D caches with 32B blocks, 4.7µF capacitor, 16MB ReRAM,
@@ -226,7 +233,7 @@ func DefaultServiceOptions() ServiceOptions { return simsvc.DefaultOptions() }
 
 // ServiceHandler returns the service's HTTP API (POST /v1/run, POST
 // /v1/batch, GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET
-// /metrics).
+// /readyz, GET /metrics).
 func ServiceHandler(svc *SimService) http.Handler { return simsvc.NewHandler(svc) }
 
 // ConfigKey returns the content-addressed cache key of a configuration: a
