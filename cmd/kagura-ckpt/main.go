@@ -132,7 +132,9 @@ func cmdTake(args []string) {
 	fatal(err)
 	blob, err := ckpt.Encode(snap)
 	fatal(err)
-	fatal(os.WriteFile(*out, blob, 0o644))
+	// Atomic: a crash mid-write must never leave a truncated checkpoint at
+	// -o, and must not destroy a previous checkpoint already there.
+	fatal(ckpt.WriteFileAtomic(*out, blob, 0o644))
 
 	fmt.Printf("wrote %s: %d bytes at cycle %d (pos %d", *out, len(blob), snap.Time, snap.Pos)
 	if completed {

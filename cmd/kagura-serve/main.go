@@ -17,6 +17,16 @@
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
 // -grace to finish, then the worker pool is canceled and the process exits.
 //
+// Observability:
+//
+//   - -log-json emits structured JSON job-lifecycle events (submit, retry,
+//     finish — each carrying the job ID, cache key, taxonomy error code, and
+//     attempt count) on stderr. Off by default; the nil-logger fast path
+//     costs one pointer check per event.
+//   - -ops-addr starts a second listener serving net/http/pprof under
+//     /debug/pprof/. It is separate from -addr so profiling is never exposed
+//     on the API surface; bind it to localhost or a private interface.
+//
 // For chaos drills, -chaos arms a deterministic fault-injection plan
 // (internal/faultinject JSON: {"seed":42,"rules":[{"point":"simsvc.compute",
 // "kind":"error","probability":0.05}]}); never set it in production.
@@ -29,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,12 +53,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 1024, "queued-job bound before 503s")
-		timeout = flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
-		retain  = flag.Int("retain", 4096, "finished jobs kept queryable by id")
-		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 1024, "queued-job bound before 503s")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+		retain   = flag.Int("retain", 4096, "finished jobs kept queryable by id")
+		cacheCap = flag.Int("cache-capacity", 4096,
+			"result-cache entry bound; LRU eviction beyond it (negative = unbounded)")
+		grace = flag.Duration("grace", 15*time.Second, "shutdown grace period")
+
+		logJSON = flag.Bool("log-json", false, "emit structured JSON job-lifecycle events on stderr")
+		opsAddr = flag.String("ops-addr", "",
+			"ops listener address serving /debug/pprof/ (empty = disabled; bind privately)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
 		writeTimeout      = flag.Duration("write-timeout", 15*time.Minute, "http.Server WriteTimeout (must cover synchronous /v1/run)")
@@ -77,7 +95,35 @@ func main() {
 	opts.QueueDepth = *queue
 	opts.DefaultTimeout = *timeout
 	opts.RetainJobs = *retain
+	opts.CacheCapacity = *cacheCap
+	if *logJSON {
+		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	svc := kagura.NewService(opts)
+
+	if *opsAddr != "" {
+		// pprof lives on its own mux and listener: the handlers are registered
+		// explicitly (never via the net/http/pprof DefaultServeMux side
+		// effect), so nothing debug-shaped can leak onto the API listener.
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		opsSrv := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           opsMux,
+			ReadHeaderTimeout: *readHeaderTimeout,
+		}
+		defer opsSrv.Close()
+		go func() {
+			log.Printf("kagura-serve: ops listener (pprof) on %s", *opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("kagura-serve: ops listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

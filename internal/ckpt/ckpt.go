@@ -50,6 +50,9 @@ const maxHashLen = 128
 // Encode serializes a snapshot. The output is deterministic: equal snapshots
 // produce equal bytes.
 func Encode(snap *ehs.Snapshot) ([]byte, error) {
+	if err := fpEncode.FireErr(); err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
 	if snap == nil {
 		return nil, fmt.Errorf("ckpt: nil snapshot")
 	}

@@ -1,0 +1,74 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kagura/internal/faultinject"
+)
+
+// Fault-injection points on the checkpoint persistence path. fpEncode fires
+// at the start of Encode; fpWrite fires twice inside WriteFileAtomic — once
+// before the temp file is written (occurrence 2k+1) and once after the bytes
+// are down but before the rename (occurrence 2k+2) — so a chaos plan can kill
+// the write at either side of the commit point and assert the destination
+// file is never left truncated.
+var (
+	fpEncode = faultinject.Point("ckpt.encode")
+	fpWrite  = faultinject.Point("ckpt.write")
+)
+
+// WriteFileAtomic writes data to path so readers never observe a partial
+// file: the bytes land in a temp file in the same directory, are fsynced,
+// and the temp file is renamed over path — rename within a directory is
+// atomic on POSIX filesystems. A crash or injected fault at any step leaves
+// either the old file or the complete new one, never a truncated blob; the
+// temp file is removed on every failure path.
+//
+// os.WriteFile offers none of this: it truncates the destination first, so
+// an interruption mid-write destroys the previous checkpoint too.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	if err := fpWrite.FireErr(); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := fpWrite.FireErr(); err != nil {
+		return fail(fmt.Errorf("ckpt: write %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is best-effort: not
+	// every platform or filesystem supports it, and the file contents are
+	// already synced.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

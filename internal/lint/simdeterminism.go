@@ -44,6 +44,7 @@ var CorePackages = []string{
 	"kagura/internal/faultinject",
 	"kagura/internal/kagura",
 	"kagura/internal/nvm",
+	"kagura/internal/obs",
 	"kagura/internal/powertrace",
 	"kagura/internal/workload",
 }

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition payload (the body of
+// GET /metrics) against the format contract the service promises scrapers:
+//
+//   - every line is a well-formed HELP/TYPE comment or a sample line
+//     (`name{label="value",…} value`) with valid metric and label names;
+//   - every sample belongs to a family with a declared TYPE, and no family
+//     declares its TYPE twice;
+//   - histogram families are internally consistent: _bucket samples carry an
+//     le label with strictly increasing bounds, cumulative counts never
+//     decrease, every label set ends with an le="+Inf" bucket, and the
+//     family's _count equals its +Inf bucket.
+//
+// The chaos soak scrapes /metrics mid-flight and feeds it here, so a
+// malformed exposition — a counter rendered from an unstable map walk, a
+// histogram whose buckets regressed — fails the soak instead of silently
+// breaking dashboards.
+func ValidateExposition(text string) error {
+	v := &expoValidator{types: map[string]string{}, hists: map[string]*histRun{}}
+	for i, line := range strings.Split(text, "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("obs: exposition line %d: %w (%q)", i+1, err, line)
+		}
+	}
+	// Every histogram label set must have been sealed with +Inf and matched
+	// by a _count. hKeys preserves first-seen order, so the walk (and any
+	// error it produces) is deterministic.
+	for _, k := range v.hKeys {
+		h := v.hists[k]
+		if !h.sawInf {
+			return fmt.Errorf("obs: exposition: histogram series %s has no le=\"+Inf\" bucket", k)
+		}
+		if !h.sawCount {
+			return fmt.Errorf("obs: exposition: histogram series %s has no _count sample", k)
+		}
+	}
+	return nil
+}
+
+// histRun tracks one histogram label set's bucket stream.
+type histRun struct {
+	lastLE   float64
+	lastCum  uint64
+	any      bool
+	sawInf   bool
+	infCount uint64
+	sawCount bool
+}
+
+type expoValidator struct {
+	types map[string]string
+	hists map[string]*histRun
+	hKeys []string
+}
+
+func (v *expoValidator) line(line string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return v.comment(line)
+	}
+	return v.sample(line)
+}
+
+func (v *expoValidator) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment")
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("invalid metric name %q in HELP", fields[2])
+		}
+	case "TYPE":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("invalid metric name %q in TYPE", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE needs a type")
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q", fields[3])
+		}
+		if _, dup := v.types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		v.types[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("comment is neither HELP nor TYPE")
+	}
+	return nil
+}
+
+func (v *expoValidator) sample(line string) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	// Resolve the family: a histogram's _bucket/_sum/_count samples belong to
+	// the base name's TYPE declaration.
+	base, part := name, ""
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name && v.types[trimmed] == "histogram" {
+			base, part = trimmed, suffix
+			break
+		}
+	}
+	typ, ok := v.types[base]
+	if !ok {
+		return fmt.Errorf("sample %s has no TYPE declaration", name)
+	}
+	if typ != "histogram" {
+		return nil
+	}
+	key := base + "{" + labelsKey(labels, "le") + "}"
+	switch part {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket without le label")
+		}
+		bound, err := parseLE(le)
+		if err != nil {
+			return err
+		}
+		cum := uint64(value)
+		if value < 0 || float64(cum) != value { //kagura:allow floateq exact round-trip check: bucket counts must be integers
+			return fmt.Errorf("bucket count %g is not a non-negative integer", value)
+		}
+		h := v.hists[key]
+		if h == nil {
+			h = &histRun{}
+			v.hists[key] = h
+			v.hKeys = append(v.hKeys, key)
+		}
+		if h.sawInf {
+			return fmt.Errorf("bucket after le=\"+Inf\" in %s", key)
+		}
+		if h.any && bound <= h.lastLE {
+			return fmt.Errorf("bucket bounds not increasing in %s (%g after %g)", key, bound, h.lastLE)
+		}
+		if h.any && cum < h.lastCum {
+			return fmt.Errorf("cumulative bucket count decreased in %s (%d after %d)", key, cum, h.lastCum)
+		}
+		h.any, h.lastLE, h.lastCum = true, bound, cum
+		if math.IsInf(bound, +1) {
+			h.sawInf, h.infCount = true, cum
+		}
+	case "_count":
+		h := v.hists[key]
+		if h == nil || !h.sawInf {
+			return fmt.Errorf("histogram _count before its +Inf bucket in %s", key)
+		}
+		if uint64(value) != h.infCount || float64(uint64(value)) != value { //kagura:allow floateq exact integer equality is the histogram invariant
+			return fmt.Errorf("histogram _count %g disagrees with +Inf bucket %d in %s", value, h.infCount, key)
+		}
+		h.sawCount = true
+	case "_sum":
+		// Any float is a legal sum.
+	default:
+		return fmt.Errorf("bare sample %s in histogram family %s", name, base)
+	}
+	return nil
+}
+
+// parseSample splits `name{k="v",…} value` (labels optional).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample")
+	}
+	name = rest[:end]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		rest, err = parseLabels(rest[1:], labels)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("malformed value %q", rest)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("malformed value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `k="v",…}` and returns what follows the brace.
+func parseLabels(rest string, labels map[string]string) (string, error) {
+	for {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return "", fmt.Errorf("malformed label pair")
+		}
+		key := rest[:eq]
+		if !validLabelName(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", fmt.Errorf("unquoted label value")
+		}
+		val, n, err := scanQuoted(rest)
+		if err != nil {
+			return "", err
+		}
+		labels[key] = val
+		rest = rest[n:]
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = rest[1:]
+		case strings.HasPrefix(rest, "}"):
+			return rest[1:], nil
+		default:
+			return "", fmt.Errorf("malformed label list")
+		}
+	}
+}
+
+// scanQuoted reads a double-quoted string with \" \\ \n escapes, returning
+// the decoded value and the bytes consumed.
+func scanQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	bound, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparsable le %q", le)
+	}
+	return bound, nil
+}
+
+// labelsKey renders a label set minus one key, in a canonical order, for use
+// as a histogram-series identity.
+func labelsKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

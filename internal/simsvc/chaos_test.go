@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kagura/internal/faultinject"
+	"kagura/internal/obs"
 )
 
 // chaosPlan is the soak's fault mix: transient compute errors and panics
@@ -97,6 +98,13 @@ func TestChaosSoak(t *testing.T) {
 			forked, err := svc.SubmitBatchFork(forkBatch, &ForkPoint{Cycles: 20_000})
 			if err != nil {
 				t.Fatalf("forked batch: %v", err)
+			}
+
+			// Scrape /metrics mid-soak, while jobs are racing through every
+			// phase: the exposition must be well-formed at any instant, not
+			// just at rest.
+			if err := obs.ValidateExposition(svc.Metrics().Prometheus()); err != nil {
+				t.Fatalf("mid-soak /metrics exposition malformed: %v", err)
 			}
 
 			// Global deadline: every job must settle. A deadlocked worker pool

@@ -195,6 +195,14 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, svc *Service, v any) boo
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
+	// Chaos point simulating a connection dying mid-response: emit a truncated
+	// body, then abort the handler the way net/http sanctions — the server
+	// closes the connection without a trailer, and the panic never reaches the
+	// jobs table or scheduler state, which were updated before rendering.
+	if fpHTTPResponse.FireErr() != nil {
+		w.Write([]byte("{"))
+		panic(http.ErrAbortHandler)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

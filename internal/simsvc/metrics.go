@@ -3,6 +3,31 @@ package simsvc
 import (
 	"fmt"
 	"strings"
+
+	"kagura/internal/obs"
+)
+
+// Histogram bucket bounds. Buckets are fixed — never adaptive — so the
+// exposition stays byte-stable for a given set of observations and series
+// remain comparable across restarts and deployments (DESIGN.md §11).
+var (
+	// latencySecondsBuckets spans sub-millisecond cache hits through
+	// multi-minute sweep legs, roughly 2.5× apart.
+	latencySecondsBuckets = []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+		1, 2.5, 5, 10, 30, 60, 120, 300,
+	}
+	// queueDepthBuckets are powers of two up to the default QueueDepth, plus
+	// an explicit empty-queue bucket.
+	queueDepthBuckets = []float64{
+		0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+	}
+	// sizeBytesBuckets cover 1 KiB through 64 MiB, 4× apart — results are a
+	// few KiB without a cycle log and snapshots grow with trace position.
+	sizeBytesBuckets = []float64{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20,
+	}
 )
 
 // metrics holds the service counters; guarded by Service.mu.
@@ -31,6 +56,28 @@ type metrics struct {
 	degradedRuns    int64 // warm starts downgraded to cold runs
 	// errorsByCode tallies terminal and rejection errors by taxonomy code.
 	errorsByCode map[ErrorCode]int64
+
+	// Result cache accounting: evictions from the bounded cache, and the
+	// estimated bytes currently retained by ready entries.
+	cacheEvictions int64
+	cacheBytes     int64
+
+	// Fixed-bucket histograms; guarded by Service.mu like the counters, so
+	// the unsynchronized obs.Histogram is safe here.
+	queueSecondsHist  *obs.Histogram
+	runSecondsHist    *obs.Histogram
+	queueDepthHist    *obs.Histogram
+	resultBytesHist   *obs.Histogram
+	snapshotBytesHist *obs.Histogram
+}
+
+// init constructs the histograms; called once from New before any job flows.
+func (m *metrics) init() {
+	m.queueSecondsHist = obs.NewHistogram(latencySecondsBuckets...)
+	m.runSecondsHist = obs.NewHistogram(latencySecondsBuckets...)
+	m.queueDepthHist = obs.NewHistogram(queueDepthBuckets...)
+	m.resultBytesHist = obs.NewHistogram(sizeBytesBuckets...)
+	m.snapshotBytesHist = obs.NewHistogram(sizeBytesBuckets...)
 }
 
 // countError books one error under its taxonomy code.
@@ -73,6 +120,20 @@ type MetricsSnapshot struct {
 	DegradedRuns    int64            `json:"degradedRuns"`
 	Shedding        bool             `json:"shedding"`
 	Errors          map[string]int64 `json:"errors,omitempty"`
+
+	// Result cache occupancy and eviction pressure. CacheCapacity is the
+	// configured entry bound (0 = unbounded); CacheBytes estimates the bytes
+	// retained by ready entries.
+	CacheBytes     int64 `json:"cacheBytes"`
+	CacheCapacity  int   `json:"cacheCapacity"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+
+	// Latency and size distributions (fixed buckets; see DESIGN.md §11).
+	QueueSeconds  obs.HistogramSnapshot `json:"queueSeconds"`
+	RunSeconds    obs.HistogramSnapshot `json:"runSeconds"`
+	QueueDepths   obs.HistogramSnapshot `json:"queueDepths"`
+	ResultBytes   obs.HistogramSnapshot `json:"resultBytes"`
+	SnapshotBytes obs.HistogramSnapshot `json:"snapshotBytes"`
 }
 
 // AvgQueueSeconds returns the mean submit→pickup latency.
@@ -115,6 +176,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 		JobsShed:          s.met.jobsShed,
 		DegradedRuns:      s.met.degradedRuns,
 		Shedding:          s.shedding,
+		CacheBytes:        s.met.cacheBytes,
+		CacheCapacity:     s.opts.CacheCapacity,
+		CacheEvictions:    s.met.cacheEvictions,
+		QueueSeconds:      s.met.queueSecondsHist.Snapshot(),
+		RunSeconds:        s.met.runSecondsHist.Snapshot(),
+		QueueDepths:       s.met.queueDepthHist.Snapshot(),
+		ResultBytes:       s.met.resultBytesHist.Snapshot(),
+		SnapshotBytes:     s.met.snapshotBytesHist.Snapshot(),
 	}
 	if len(s.met.errorsByCode) > 0 {
 		snap.Errors = make(map[string]int64, len(s.met.errorsByCode))
@@ -126,11 +195,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 			}
 		}
 	}
-	for _, e := range s.cache {
-		if e.ready {
-			snap.CachedKeys++
-		}
-	}
+	snap.CachedKeys = s.lru.Len() // the LRU lists exactly the ready entries
 	return snap
 }
 
@@ -198,5 +263,27 @@ func (m MetricsSnapshot) Prometheus() string {
 	for _, code := range errorCodes {
 		w("kagura_errors_total{code=%q} %d\n", string(code), m.Errors[string(code)])
 	}
+	w("# HELP kagura_cache_bytes Estimated bytes retained by the result cache.\n")
+	w("# TYPE kagura_cache_bytes gauge\n")
+	w("kagura_cache_bytes %d\n", m.CacheBytes)
+	w("# HELP kagura_cache_capacity Result cache entry bound (0 = unbounded).\n")
+	w("# TYPE kagura_cache_capacity gauge\n")
+	w("kagura_cache_capacity %d\n", m.CacheCapacity)
+	w("# HELP kagura_cache_evictions_total Results evicted from the bounded cache.\n")
+	w("# TYPE kagura_cache_evictions_total counter\n")
+	w("kagura_cache_evictions_total %d\n", m.CacheEvictions)
+	w("# HELP kagura_job_phase_seconds Job latency by phase.\n")
+	w("# TYPE kagura_job_phase_seconds histogram\n")
+	m.QueueSeconds.WritePrometheus(&b, "kagura_job_phase_seconds", `phase="queue"`)
+	m.RunSeconds.WritePrometheus(&b, "kagura_job_phase_seconds", `phase="run"`)
+	w("# HELP kagura_queue_depth_observed Queue depth sampled at each enqueue.\n")
+	w("# TYPE kagura_queue_depth_observed histogram\n")
+	m.QueueDepths.WritePrometheus(&b, "kagura_queue_depth_observed", "")
+	w("# HELP kagura_result_bytes Estimated retained size of each cached result.\n")
+	w("# TYPE kagura_result_bytes histogram\n")
+	m.ResultBytes.WritePrometheus(&b, "kagura_result_bytes", "")
+	w("# HELP kagura_warm_snapshot_bytes Encoded size of each warm-start snapshot.\n")
+	w("# TYPE kagura_warm_snapshot_bytes histogram\n")
+	m.SnapshotBytes.WritePrometheus(&b, "kagura_warm_snapshot_bytes", "")
 	return b.String()
 }

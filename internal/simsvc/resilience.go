@@ -32,6 +32,11 @@ var (
 	// fpHTTPBody fires while decoding a request body (latency simulates a
 	// slow client, error an aborted body).
 	fpHTTPBody = faultinject.Point("simsvc.http.body")
+	// fpHTTPResponse fires in writeJSON before the response body is encoded
+	// (error-only). An injected error simulates a connection dying mid-write:
+	// the handler emits a truncated body and aborts with http.ErrAbortHandler,
+	// exactly what a peer reset looks like from inside the server.
+	fpHTTPResponse = faultinject.Point("simsvc.http.response")
 )
 
 // ErrorCode is the machine-readable error taxonomy carried in the `code`

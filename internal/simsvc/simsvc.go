@@ -27,15 +27,19 @@
 package simsvc
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
+	"unsafe"
 
 	"kagura/internal/ehs"
+	"kagura/internal/obs"
 	"kagura/internal/rng"
 )
 
@@ -79,8 +83,16 @@ type Options struct {
 	// its own (0 ⇒ no timeout).
 	DefaultTimeout time.Duration
 	// RetainJobs bounds how many finished jobs stay queryable by ID before
-	// the oldest are pruned (default 4096). The result cache is unaffected.
+	// the oldest are pruned (default 4096).
 	RetainJobs int
+	// CacheCapacity bounds the result cache to this many completed entries
+	// (default 4096); beyond it the least-recently-used completed result is
+	// evicted and its next submission recomputes. In-flight entries — an
+	// owner still computing, with or without coalesced waiters — are never
+	// evicted and do not count against the bound. Negative means unbounded
+	// (the pre-bound behavior: one ehs.Result retained per distinct spec,
+	// forever — an OOM under sustained unique-spec traffic).
+	CacheCapacity int
 	// WarmStartCapacity bounds the cache of warm-start snapshots keyed on
 	// (base spec, fork cycle); the oldest are evicted FIFO (default 64).
 	// Snapshots hold full simulator state, so this bound is the service's
@@ -112,14 +124,23 @@ type Options struct {
 	// fraction (default 0.5). The gap is hysteresis: the breaker does not
 	// flap at the boundary.
 	ShedLowWater float64
+
+	// Logger, when non-nil, receives structured job lifecycle events
+	// (submit, retry, finish) carrying the job ID, cache key, taxonomy error
+	// code, and attempt count. Nil — the default, and what benchmarks run
+	// with — disables logging entirely; the instrumentation then costs one
+	// nil check per event. kagura-serve wires a JSON handler behind
+	// -log-json.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns production defaults.
 func DefaultOptions() Options {
 	return Options{
-		Workers:    runtime.GOMAXPROCS(0),
-		QueueDepth: 1024,
-		RetainJobs: 4096,
+		Workers:       runtime.GOMAXPROCS(0),
+		QueueDepth:    1024,
+		RetainJobs:    4096,
+		CacheCapacity: 4096,
 	}
 }
 
@@ -132,6 +153,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetainJobs <= 0 {
 		o.RetainJobs = 4096
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.CacheCapacity < 0 {
+		o.CacheCapacity = 0 // negative means "unbounded"
 	}
 	if o.WarmStartCapacity <= 0 {
 		o.WarmStartCapacity = 64
@@ -177,6 +204,10 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// trace is the job's phase timeline (queued → warm-start → compute per
+	// attempt → backoff), self-synchronized; GET /v1/jobs/{id} exposes it.
+	trace *obs.Trace
+
 	// Guarded by Service.mu until done closes.
 	state    State
 	cached   bool
@@ -185,6 +216,9 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// attempts counts compute attempts actually started (0 until a worker
+	// picks the job up; 1 + retries after).
+	attempts int
 }
 
 // ID returns the job's service-unique identifier.
@@ -226,6 +260,10 @@ type JobStatus struct {
 	WarmStartFromCycle int64      `json:"warmStartFromCycle,omitempty"`
 	Spec               *RunSpec   `json:"spec,omitempty"`
 	Result             *RunResult `json:"result,omitempty"`
+	// Trace is the job's phase timeline: contiguous queued/coalesced/cached/
+	// warmstart/compute/backoff spans whose durations sum to the job's wall
+	// time. A live job's open span is reported through the snapshot instant.
+	Trace []obs.Span `json:"trace,omitempty"`
 }
 
 // entry is one cache slot: a completed result, or an in-flight owner with
@@ -235,6 +273,13 @@ type entry struct {
 	waiters []*Job
 	ready   bool
 	res     *ehs.Result
+	// bytes is the estimated retained size of res, booked against the
+	// kagura_cache_bytes gauge while the entry lives.
+	bytes int
+	// elem is the entry's slot in the LRU list — non-nil exactly when the
+	// entry is ready. In-flight entries are never listed, which is what pins
+	// them against eviction.
+	elem *list.Element
 }
 
 // Service schedules simulation jobs on a bounded worker pool with a
@@ -246,9 +291,13 @@ type Service struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	cache    map[string]*entry
+	mu     sync.Mutex
+	closed bool
+	cache  map[string]*entry
+	// lru orders the ready cache entries (front = most recently used); its
+	// keys are exactly the ready entries, so len is the memoized-result
+	// count and the back is the next eviction victim.
+	lru      *list.List
 	jobs     map[string]*Job
 	finished []string // FIFO of terminal job IDs, for retention pruning
 	seq      uint64
@@ -274,11 +323,13 @@ func New(opts Options) *Service {
 		stop:    cancel,
 		queue:   make(chan *Job, opts.QueueDepth),
 		cache:   make(map[string]*entry),
+		lru:     list.New(),
 		jobs:    make(map[string]*Job),
 		warm:    make(map[warmKey]*warmEntry),
 
 		retryRng: rng.New(opts.RetrySeed),
 	}
+	s.met.init()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -486,6 +537,7 @@ func (s *Service) Cancel(id string) error {
 		s.met.countError(CodeCanceled)
 		job.res, job.err, job.cached, job.finished = nil, context.Canceled, false, now
 		job.state = StateCanceled
+		job.trace.End(now)
 		close(job.done)
 		s.retainLocked(job)
 		s.mu.Unlock()
@@ -495,6 +547,7 @@ func (s *Service) Cancel(id string) error {
 
 // statusLocked builds a snapshot; callers hold s.mu.
 func (s *Service) statusLocked(job *Job) JobStatus {
+	now := time.Now()
 	st := JobStatus{
 		ID:                 job.id,
 		Key:                job.key,
@@ -503,13 +556,14 @@ func (s *Service) statusLocked(job *Job) JobStatus {
 		CreatedAt:          job.created,
 		WarmStartFromCycle: job.forkCycle,
 		Spec:               job.spec,
+		Trace:              job.trace.Spans(now),
 	}
 	if job.err != nil {
 		st.Error = job.err.Error()
 	}
 	switch {
 	case job.state == StateQueued:
-		st.QueueSeconds = time.Since(job.created).Seconds()
+		st.QueueSeconds = now.Sub(job.created).Seconds()
 	case !job.started.IsZero():
 		st.QueueSeconds = job.started.Sub(job.created).Seconds()
 	case !job.finished.IsZero(): // finished without running (cache hit)
@@ -518,7 +572,7 @@ func (s *Service) statusLocked(job *Job) JobStatus {
 	if !job.started.IsZero() {
 		end := job.finished
 		if end.IsZero() {
-			end = time.Now()
+			end = now
 		}
 		st.RunSeconds = end.Sub(job.started).Seconds()
 	}
@@ -532,6 +586,51 @@ func (s *Service) statusLocked(job *Job) JobStatus {
 // submit registers a job and routes it: instant cache hit, coalesce onto an
 // in-flight twin, or enqueue for a worker.
 func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, error) {
+	job, err := s.submitLocked(spec, key, compute, timeout, forkCycle)
+	if err != nil {
+		s.logEvent("job.reject", slog.String("key", key), slog.String("code", string(Classify(err))))
+		return nil, err
+	}
+	if s.opts.Logger != nil {
+		s.mu.Lock()
+		st := job.state
+		s.mu.Unlock()
+		s.logEvent("job.submit", slog.String("job", job.id), slog.String("key", job.key),
+			slog.String("state", string(st)))
+	}
+	return job, nil
+}
+
+// logEvent emits one structured lifecycle event when logging is enabled.
+// Every call site sits outside s.mu, so a slow log sink never extends lock
+// hold time; with a nil Logger the instrumentation costs one pointer check.
+func (s *Service) logEvent(msg string, attrs ...any) {
+	if s.opts.Logger == nil {
+		return
+	}
+	s.opts.Logger.Info(msg, attrs...)
+}
+
+// logFinish emits the terminal lifecycle event for a job. Called after s.mu
+// is released; a terminal job's fields are immutable, so the unlocked reads
+// are safe.
+func (s *Service) logFinish(job *Job) {
+	if s.opts.Logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("job", job.id),
+		slog.String("key", job.key),
+		slog.String("state", string(job.state)),
+		slog.Int("attempts", job.attempts),
+	}
+	if job.err != nil {
+		attrs = append(attrs, slog.String("code", string(Classify(job.err))))
+	}
+	s.opts.Logger.Info("job.finish", attrs...)
+}
+
+func (s *Service) submitLocked(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -549,16 +648,20 @@ func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context
 		state:     StateQueued,
 		created:   time.Now(),
 	}
+	job.trace = obs.NewTrace(job.created)
 	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
 	s.jobs[job.id] = job
 
 	e := s.cache[key]
 	switch {
 	case e != nil && e.ready:
+		s.lru.MoveToFront(e.elem)
 		job.state = StateDone
 		job.cached = true
 		job.res = e.res
 		job.finished = job.created
+		job.trace.Begin(obs.PhaseCached, job.created)
+		job.trace.End(job.created)
 		s.met.jobsCached++
 		close(job.done)
 		job.cancel()
@@ -570,6 +673,7 @@ func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context
 			s.met.countError(Classify(ierr))
 			return nil, ierr
 		}
+		job.trace.Begin(obs.PhaseCoalesced, job.created)
 		e.waiters = append(e.waiters, job)
 	default:
 		if s.shedLocked() {
@@ -581,6 +685,8 @@ func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context
 		}
 		select {
 		case s.queue <- job:
+			job.trace.Begin(obs.PhaseQueued, job.created)
+			s.met.queueDepthHist.Observe(float64(len(s.queue)))
 			s.cache[key] = &entry{owner: job}
 		default:
 			delete(s.jobs, job.id)
@@ -697,11 +803,16 @@ func (s *Service) runJob(job *Job) {
 	}
 	job.state = StateRunning
 	job.started = time.Now()
+	job.attempts = 1
 	s.met.queueNanos += job.started.Sub(job.created).Nanoseconds()
 	s.met.queueCount++
+	s.met.queueSecondsHist.Observe(job.started.Sub(job.created).Seconds())
 	s.mu.Unlock()
+	job.trace.BeginAttempt(1, obs.PhaseCompute, job.started)
 
-	ctx := job.ctx
+	// Carry the trace so compute paths (warm-start snapshot resolution) can
+	// open their own phases inside the attempt.
+	ctx := obs.WithTrace(job.ctx, job.trace)
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, job.timeout)
@@ -726,6 +837,7 @@ func (s *Service) runJob(job *Job) {
 	}
 	res, err := attempt()
 	for tries := 1; err != nil && tries <= s.opts.RetryMax && retryable(err) && ctx.Err() == nil; tries++ {
+		job.trace.Begin(obs.PhaseBackoff, time.Now())
 		if !s.backoff(ctx, tries) {
 			// Canceled mid-backoff: settle as canceled now — the retry must
 			// not fire after cancellation.
@@ -734,7 +846,11 @@ func (s *Service) runJob(job *Job) {
 		}
 		s.mu.Lock()
 		s.met.jobsRetried++
+		job.attempts = tries + 1
 		s.mu.Unlock()
+		s.logEvent("job.retry", slog.String("job", job.id), slog.String("key", job.key),
+			slog.Int("attempt", tries+1), slog.String("code", string(Classify(err))))
+		job.trace.BeginAttempt(tries+1, obs.PhaseCompute, time.Now())
 		res, err = attempt()
 	}
 	s.finishJob(job, res, err)
@@ -789,8 +905,9 @@ func terminalState(st State) bool {
 // entry it owns, and resolves coalesced waiters.
 func (s *Service) finishJob(job *Job, res *ehs.Result, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.finishJobLocked(job, res, err, time.Now())
+	s.mu.Unlock()
+	s.logFinish(job)
 }
 
 // finishJobLocked is finishJob with s.mu held.
@@ -812,6 +929,7 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 			if !job.started.IsZero() {
 				s.met.runNanos += now.Sub(job.started).Nanoseconds()
 				s.met.runCount++
+				s.met.runSecondsHist.Observe(now.Sub(job.started).Seconds())
 			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.met.jobsCanceled++
@@ -837,6 +955,11 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 		waiters := e.waiters
 		if err == nil {
 			e.ready, e.res, e.owner, e.waiters = true, res, nil, nil
+			e.bytes = resultBytes(res)
+			e.elem = s.lru.PushFront(job.key)
+			s.met.cacheBytes += int64(e.bytes)
+			s.met.resultBytesHist.Observe(float64(e.bytes))
+			s.evictCacheLocked()
 		} else {
 			delete(s.cache, job.key)
 		}
@@ -876,9 +999,42 @@ func (s *Service) finishOneLocked(job *Job, res *ehs.Result, err error, cached b
 	if err != nil {
 		s.met.countError(Classify(err))
 	}
+	job.trace.End(now)
 	close(job.done)
 	job.cancel()
 	s.retainLocked(job)
+}
+
+// evictCacheLocked evicts least-recently-used ready entries until the cache
+// is back within CacheCapacity. Only ready entries live in the LRU list, so
+// in-flight owners — and with them any coalesced waiters, which exist only on
+// in-flight entries — are structurally exempt from eviction. Callers hold
+// s.mu.
+func (s *Service) evictCacheLocked() {
+	if s.opts.CacheCapacity <= 0 {
+		return
+	}
+	for s.lru.Len() > s.opts.CacheCapacity {
+		back := s.lru.Back()
+		key := back.Value.(string)
+		s.lru.Remove(back)
+		if e := s.cache[key]; e != nil {
+			s.met.cacheBytes -= int64(e.bytes)
+		}
+		delete(s.cache, key)
+		s.met.cacheEvictions++
+	}
+}
+
+// resultBytes estimates the retained size of a cached result: the struct
+// header plus its dominant slice, the per-interval cycle records. An estimate
+// is enough — the kagura_cache_bytes gauge exists to show growth and the
+// effect of eviction, not to account for the allocator.
+func resultBytes(r *ehs.Result) int {
+	if r == nil {
+		return 0
+	}
+	return int(unsafe.Sizeof(*r)) + len(r.Cycles)*int(unsafe.Sizeof(ehs.CycleRecord{}))
 }
 
 // noteError books a taxonomy-coded failure that never became a job (request
@@ -898,15 +1054,10 @@ func (s *Service) retainLocked(job *Job) {
 	}
 }
 
-// CacheLen returns the number of memoized results.
+// CacheLen returns the number of memoized results. The LRU list holds exactly
+// the ready entries, so its length is the answer in O(1).
 func (s *Service) CacheLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, e := range s.cache {
-		if e.ready {
-			n++
-		}
-	}
-	return n
+	return s.lru.Len()
 }

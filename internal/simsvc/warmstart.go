@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"time"
 
+	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
+	"kagura/internal/obs"
 )
 
 // ForkPoint asks a batch to warm-start: run the base spec once to the given
@@ -111,10 +113,16 @@ func (s *Service) submitFork(spec RunSpec, base RunSpec, baseKey string, baseCfg
 		timeout = time.Duration(norm.TimeoutSeconds * float64(time.Second))
 	}
 	compute := func(ctx context.Context) (*ehs.Result, error) {
+		// The job's trace rides the context (obs.WithTrace in runJob): split
+		// the compute attempt into a warm-start span — computing or waiting
+		// for the snapshot — and the simulation proper.
+		tr := obs.TraceFrom(ctx)
+		tr.Begin(obs.PhaseWarmStart, time.Now())
 		snap, err := s.warmSnapshot(ctx, baseCfg, baseKey, cycles)
 		if err == nil {
 			err = fpWarmFork.Fire(ctx)
 		}
+		tr.Begin(obs.PhaseCompute, time.Now())
 		if err == nil {
 			res, rerr := ehs.RunFrom(ctx, snap, cfg)
 			if rerr == nil {
@@ -189,6 +197,16 @@ func (s *Service) warmSnapshot(ctx context.Context, baseCfg ehs.Config, baseKey 
 		s.mu.Unlock()
 
 		e.snap, e.err = computeWarmSnapshot(ctx, baseCfg, cycles)
+		if e.err == nil {
+			// Book the snapshot's encoded size. Encoding once per warm miss is
+			// noise next to the simulation that just produced the snapshot, and
+			// it is the exact wire size a checkpoint of this state would have.
+			if blob, eerr := ckpt.Encode(e.snap); eerr == nil {
+				s.mu.Lock()
+				s.met.snapshotBytesHist.Observe(float64(len(blob)))
+				s.mu.Unlock()
+			}
+		}
 		s.mu.Lock()
 		if e.err != nil && s.warm[k] == e {
 			delete(s.warm, k)

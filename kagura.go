@@ -38,6 +38,7 @@ import (
 	"kagura/internal/experiments"
 	"kagura/internal/kagura"
 	"kagura/internal/nvm"
+	"kagura/internal/obs"
 	"kagura/internal/powertrace"
 	"kagura/internal/simsvc"
 	"kagura/internal/workload"
@@ -197,6 +198,10 @@ type (
 	// ServiceErrorCode is the machine-readable error taxonomy carried in the
 	// `code` field of /v1 error responses and kagura_errors_total{code}.
 	ServiceErrorCode = simsvc.ErrorCode
+	// TraceSpan is one phase interval of a job's trace (JobStatus.Trace):
+	// queued/coalesced/cached/warmstart/compute/backoff, contiguous, summing
+	// to the job's wall time.
+	TraceSpan = obs.Span
 )
 
 // ClassifyServiceError maps any service error to its taxonomy code
