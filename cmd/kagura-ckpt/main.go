@@ -6,6 +6,7 @@
 //	kagura-ckpt describe mid.ckpt
 //	kagura-ckpt diff mid.ckpt other.ckpt
 //	kagura-ckpt resume -app jpeg -codec BDI -acc mid.ckpt
+//	kagura-ckpt store ls -dir /var/lib/kagura/store
 //
 // take runs a configuration (same spec flags as kagura-sim) to a cycle bound
 // and writes the encoded snapshot. describe prints a human-readable summary.
@@ -14,6 +15,11 @@
 // simulator built from the given spec flags and runs it to completion —
 // under the original config this reproduces the uninterrupted run exactly;
 // under a variant config it forks the warm prefix (sweep warm-start).
+//
+// store inspects a kagura-serve persistent store directory (DESIGN.md §12):
+// ls lists every entry, gc evicts down to a byte budget and clears the
+// quarantine, and verify re-reads every payload end to end, quarantining any
+// entry that fails its checksum or decoder.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"kagura"
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
+	"kagura/internal/store"
 )
 
 func main() {
@@ -41,6 +48,8 @@ func main() {
 		cmdDiff(os.Args[2:])
 	case "resume":
 		cmdResume(os.Args[2:])
+	case "store":
+		cmdStore(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -58,6 +67,7 @@ Commands:
   describe  print a human-readable summary of a checkpoint file
   diff      compare two checkpoint files field by field (exit 1 if they differ)
   resume    restore a checkpoint and run it to completion
+  store     inspect a persistent store directory: ls, gc, or verify
 
 Run "kagura-ckpt <command> -h" for the command's flags.
 `)
@@ -201,6 +211,76 @@ func cmdResume(args []string) {
 	fmt.Printf("committed:    %d instructions (%d executed)\n", res.Committed, res.Executed)
 	fmt.Printf("power cycles: %d\n", res.PowerCycles)
 	fmt.Printf("energy total: %.3f µJ\n", res.Energy.Total()*1e6)
+}
+
+// cmdStore inspects a kagura-serve persistent store directory. The store is
+// opened with an unbounded budget so inspection never evicts entries as a
+// side effect; only gc's explicit budget removes anything.
+func cmdStore(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "kagura-ckpt: store needs a subcommand: ls, gc, or verify")
+		os.Exit(2)
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("kagura-ckpt store "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	budget := fs.Int64("budget", store.DefaultBudgetBytes,
+		"gc: byte budget to evict down to (0 empties the store, negative = unbounded)")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		fatal(fmt.Errorf("store %s needs -dir", sub))
+	}
+	st, err := store.Open(store.Options{Dir: *dir, BudgetBytes: -1})
+	fatal(err)
+	scanned := st.Metrics()
+
+	switch sub {
+	case "ls":
+		entries := st.Entries()
+		for _, e := range entries {
+			fmt.Printf("%-10s %12d  %s\n", e.Kind, e.Bytes, e.Key)
+		}
+		fmt.Printf("%d entries, %d bytes (%d quarantined at scan)\n",
+			len(entries), st.Bytes(), scanned.ScanCorrupted)
+	case "gc":
+		evicted, err := st.GC(*budget)
+		fatal(err)
+		fmt.Printf("evicted %d entries, cleared the quarantine; store now %d entries, %d bytes\n",
+			evicted, st.Len(), st.Bytes())
+	case "verify":
+		entries := st.Entries()
+		bad := 0
+		for _, e := range entries {
+			payload, ok := st.Get(e.Kind, e.Key)
+			if !ok {
+				// Structural or checksum damage: Get already quarantined it.
+				fmt.Printf("CORRUPT %-10s %s (quarantined)\n", e.Kind, e.Key)
+				bad++
+				continue
+			}
+			// The framing is intact — run the payload through its own decoder.
+			var derr error
+			switch e.Kind {
+			case store.KindResult:
+				_, derr = ckpt.DecodeResult(payload)
+			case store.KindCheckpoint:
+				_, derr = ckpt.Decode(payload)
+			}
+			if derr != nil {
+				st.Quarantine(e.Kind, e.Key)
+				fmt.Printf("CORRUPT %-10s %s: %v (quarantined)\n", e.Kind, e.Key, derr)
+				bad++
+			}
+		}
+		fmt.Printf("verified %d entries: %d corrupt (%d more quarantined at scan)\n",
+			len(entries), bad, scanned.ScanCorrupted)
+		if bad > 0 || scanned.ScanCorrupted > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kagura-ckpt: unknown store subcommand %q (want ls, gc, or verify)\n", sub)
+		os.Exit(2)
+	}
 }
 
 func readCkpt(path string) (*ehs.Snapshot, error) {

@@ -27,6 +27,15 @@
 //     /debug/pprof/. It is separate from -addr so profiling is never exposed
 //     on the API surface; bind it to localhost or a private interface.
 //
+// Persistence:
+//
+//   - -store-dir points the service at a persistent on-disk store for
+//     results and warm-start checkpoints (DESIGN.md §12). Work computed
+//     before a restart or deploy is served from disk instead of being
+//     re-simulated; -store-budget bounds the disk footprint (oldest-access
+//     entries are evicted beyond it). Inspect the directory offline with
+//     `kagura-ckpt store ls|gc|verify -dir <dir>`.
+//
 // For chaos drills, -chaos arms a deterministic fault-injection plan
 // (internal/faultinject JSON: {"seed":42,"rules":[{"point":"simsvc.compute",
 // "kind":"error","probability":0.05}]}); never set it in production.
@@ -60,6 +69,10 @@ func main() {
 		retain   = flag.Int("retain", 4096, "finished jobs kept queryable by id")
 		cacheCap = flag.Int("cache-capacity", 4096,
 			"result-cache entry bound; LRU eviction beyond it (negative = unbounded)")
+		storeDir = flag.String("store-dir", "",
+			"persistent result/checkpoint store directory; survives restarts (empty = memory-only)")
+		storeBudget = flag.Int64("store-budget", 0,
+			"store disk budget in bytes (0 = 1 GiB, negative = unbounded)")
 		grace = flag.Duration("grace", 15*time.Second, "shutdown grace period")
 
 		logJSON = flag.Bool("log-json", false, "emit structured JSON job-lifecycle events on stderr")
@@ -96,10 +109,22 @@ func main() {
 	opts.DefaultTimeout = *timeout
 	opts.RetainJobs = *retain
 	opts.CacheCapacity = *cacheCap
+	opts.StoreDir = *storeDir
+	opts.StoreBudgetBytes = *storeBudget
 	if *logJSON {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	svc := kagura.NewService(opts)
+	if err := svc.StoreErr(); err != nil {
+		// An explicitly requested store that cannot open is a configuration
+		// error: fail loudly at startup rather than silently serving
+		// memory-only and recomputing everything after each deploy.
+		log.Fatalf("kagura-serve: store: %v", err)
+	}
+	if m, ok := svc.StoreMetrics(); ok {
+		log.Printf("kagura-serve: store %s — %d entries, %d bytes (%d quarantined at scan)",
+			*storeDir, m.Entries, m.Bytes, m.ScanCorrupted)
+	}
 
 	if *opsAddr != "" {
 		// pprof lives on its own mux and listener: the handlers are registered

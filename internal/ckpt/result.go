@@ -1,0 +1,47 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"kagura/internal/ehs"
+)
+
+// ResultMagic identifies a serialized standalone result (the payload of a
+// store KindResult entry), distinct from a full checkpoint's Magic.
+const ResultMagic = "KAGRES\x00\x00"
+
+// EncodeResult serializes one simulation result to the same versioned binary
+// format checkpoints embed it in — deterministic, so the persistent store's
+// byte-identical restart invariant holds: equal results produce equal bytes.
+func EncodeResult(res *ehs.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("ckpt: nil result")
+	}
+	w := &writer{buf: make([]byte, 0, 1<<10)}
+	w.raw([]byte(ResultMagic))
+	w.u16(Version)
+	w.result(res)
+	return w.buf, nil
+}
+
+// DecodeResult parses a standalone result. Like Decode, it is hardened
+// against arbitrary input: truncation, oversized length prefixes, and
+// trailing bytes are errors; no input panics.
+func DecodeResult(data []byte) (*ehs.Result, error) {
+	r := &reader{data: data}
+	if magic := r.take(len(ResultMagic)); r.err == nil && string(magic) != ResultMagic {
+		return nil, fmt.Errorf("ckpt: bad result magic %q", magic)
+	}
+	if v := r.u16(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("ckpt: unknown result version %d (this build reads version %d)", v, Version)
+	}
+	res := &ehs.Result{}
+	r.result(res)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after result", len(r.data)-r.off)
+	}
+	return res, nil
+}

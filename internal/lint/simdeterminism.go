@@ -46,6 +46,7 @@ var CorePackages = []string{
 	"kagura/internal/nvm",
 	"kagura/internal/obs",
 	"kagura/internal/powertrace",
+	"kagura/internal/store",
 	"kagura/internal/workload",
 }
 

@@ -29,6 +29,8 @@ const (
 	PhaseCached = "cached"
 	// PhaseWarmStart: computing or waiting for a warm-start snapshot.
 	PhaseWarmStart = "warmstart"
+	// PhaseStore: probing the persistent on-disk store before computing.
+	PhaseStore = "store"
 	// PhaseCompute: executing the simulation (one span per attempt).
 	PhaseCompute = "compute"
 	// PhaseBackoff: waiting out the retry backoff after a transient failure.

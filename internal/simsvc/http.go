@@ -20,6 +20,7 @@ import (
 //	POST   /v1/batch      {"jobs":[spec...]}; returns 202 + per-job statuses.
 //	GET    /v1/jobs       list retained jobs, newest first.
 //	GET    /v1/jobs/{id}  one job's status (result inlined when done).
+//	                      ?format=otlp returns the phase trace as OTLP/JSON.
 //	DELETE /v1/jobs/{id}  cancel a queued or running job.
 //	GET    /v1/workloads  workload / trace / codec / design / policy catalog.
 //	GET    /healthz       liveness.
@@ -134,6 +135,17 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "otlp" {
+			blob, err := svc.JobTraceOTLP(r.PathValue("id"))
+			if err != nil {
+				svc.noteError(CodeUnknownJob)
+				writeError(w, http.StatusNotFound, CodeUnknownJob, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(blob)
+			return
+		}
 		st, err := svc.Job(r.PathValue("id"))
 		if err != nil {
 			svc.noteError(CodeUnknownJob)

@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"kagura/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
@@ -280,5 +283,60 @@ func TestHTTPInlineWorkload(t *testing.T) {
 	res := decodeBody[RunResult](t, resp)
 	if !res.Completed || res.Committed != 1500 {
 		t.Fatalf("inline workload run wrong: %+v", res)
+	}
+}
+
+func TestHTTPJobTraceOTLP(t *testing.T) {
+	svc, srv := newTestServer(t)
+	if _, err := svc.Run(context.Background(), quickSpec()); err != nil {
+		t.Fatal(err)
+	}
+	jobs := svc.Jobs()
+	if len(jobs) == 0 {
+		t.Fatal("no retained job")
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + jobs[0].ID + "?format=otlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("otlp export: %d, want 200", resp.StatusCode)
+	}
+	export := decodeBody[struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+					Name    string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}](t, resp)
+	if len(export.ResourceSpans) != 1 || len(export.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("export shape wrong: %+v", export)
+	}
+	spans := export.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) == 0 {
+		t.Fatal("export has no spans")
+	}
+	phases := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		if len(sp.TraceID) != 32 {
+			t.Fatalf("traceId = %q, want 32 hex chars", sp.TraceID)
+		}
+		phases[sp.Name] = true
+	}
+	if !phases[obs.PhaseCompute] {
+		t.Fatalf("no compute span in export: %v", phases)
+	}
+
+	// Unknown jobs 404 in OTLP format too.
+	resp, err = http.Get(srv.URL + "/v1/jobs/job-99999999?format=otlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job otlp export: %d, want 404", resp.StatusCode)
 	}
 }

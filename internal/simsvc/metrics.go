@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"kagura/internal/obs"
+	"kagura/internal/store"
 )
 
 // Histogram bucket bounds. Buckets are fixed — never adaptive — so the
@@ -62,13 +63,18 @@ type metrics struct {
 	cacheEvictions int64
 	cacheBytes     int64
 
+	// storePublishDrops counts asynchronous store writes dropped because the
+	// publish queue was full (persistence is best-effort; serving is not).
+	storePublishDrops int64
+
 	// Fixed-bucket histograms; guarded by Service.mu like the counters, so
 	// the unsynchronized obs.Histogram is safe here.
-	queueSecondsHist  *obs.Histogram
-	runSecondsHist    *obs.Histogram
-	queueDepthHist    *obs.Histogram
-	resultBytesHist   *obs.Histogram
-	snapshotBytesHist *obs.Histogram
+	queueSecondsHist      *obs.Histogram
+	runSecondsHist        *obs.Histogram
+	queueDepthHist        *obs.Histogram
+	queueDepthSampledHist *obs.Histogram
+	resultBytesHist       *obs.Histogram
+	snapshotBytesHist     *obs.Histogram
 }
 
 // init constructs the histograms; called once from New before any job flows.
@@ -76,6 +82,7 @@ func (m *metrics) init() {
 	m.queueSecondsHist = obs.NewHistogram(latencySecondsBuckets...)
 	m.runSecondsHist = obs.NewHistogram(latencySecondsBuckets...)
 	m.queueDepthHist = obs.NewHistogram(queueDepthBuckets...)
+	m.queueDepthSampledHist = obs.NewHistogram(queueDepthBuckets...)
 	m.resultBytesHist = obs.NewHistogram(sizeBytesBuckets...)
 	m.snapshotBytesHist = obs.NewHistogram(sizeBytesBuckets...)
 }
@@ -128,12 +135,22 @@ type MetricsSnapshot struct {
 	CacheCapacity  int   `json:"cacheCapacity"`
 	CacheEvictions int64 `json:"cacheEvictions"`
 
+	// Persistent store tier (internal/store): enabled state, disk-tier
+	// counters, and publishes dropped because the async write queue was
+	// full. Store fields are all zero when the tier is disabled.
+	StoreEnabled      bool                  `json:"storeEnabled"`
+	Store             store.MetricsSnapshot `json:"store"`
+	StorePublishDrops int64                 `json:"storePublishDrops"`
+
 	// Latency and size distributions (fixed buckets; see DESIGN.md §11).
-	QueueSeconds  obs.HistogramSnapshot `json:"queueSeconds"`
-	RunSeconds    obs.HistogramSnapshot `json:"runSeconds"`
-	QueueDepths   obs.HistogramSnapshot `json:"queueDepths"`
-	ResultBytes   obs.HistogramSnapshot `json:"resultBytes"`
-	SnapshotBytes obs.HistogramSnapshot `json:"snapshotBytes"`
+	QueueSeconds obs.HistogramSnapshot `json:"queueSeconds"`
+	RunSeconds   obs.HistogramSnapshot `json:"runSeconds"`
+	QueueDepths  obs.HistogramSnapshot `json:"queueDepths"`
+	// QueueDepthsSampled is the timer-sampled (time-weighted) queue-depth
+	// distribution, beside the per-enqueue QueueDepths.
+	QueueDepthsSampled obs.HistogramSnapshot `json:"queueDepthsSampled"`
+	ResultBytes        obs.HistogramSnapshot `json:"resultBytes"`
+	SnapshotBytes      obs.HistogramSnapshot `json:"snapshotBytes"`
 }
 
 // AvgQueueSeconds returns the mean submit→pickup latency.
@@ -157,33 +174,39 @@ func (s *Service) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := MetricsSnapshot{
-		JobsRun:           s.met.jobsRun,
-		JobsCached:        s.met.jobsCached,
-		JobsFailed:        s.met.jobsFailed,
-		JobsCanceled:      s.met.jobsCanceled,
-		QueueDepth:        len(s.queue),
-		Workers:           s.opts.Workers,
-		QueueSecondsTotal: float64(s.met.queueNanos) / 1e9,
-		QueueSamples:      s.met.queueCount,
-		RunSecondsTotal:   float64(s.met.runNanos) / 1e9,
-		RunSamples:        s.met.runCount,
-		WarmStartHits:     s.met.warmHits,
-		WarmStartMisses:   s.met.warmMisses,
-		WarmSnapshots:     len(s.warm),
-		WarmCyclesSaved:   s.met.warmCyclesSaved,
-		PanicsRecovered:   s.met.panicsRecovered,
-		JobsRetried:       s.met.jobsRetried,
-		JobsShed:          s.met.jobsShed,
-		DegradedRuns:      s.met.degradedRuns,
-		Shedding:          s.shedding,
-		CacheBytes:        s.met.cacheBytes,
-		CacheCapacity:     s.opts.CacheCapacity,
-		CacheEvictions:    s.met.cacheEvictions,
-		QueueSeconds:      s.met.queueSecondsHist.Snapshot(),
-		RunSeconds:        s.met.runSecondsHist.Snapshot(),
-		QueueDepths:       s.met.queueDepthHist.Snapshot(),
-		ResultBytes:       s.met.resultBytesHist.Snapshot(),
-		SnapshotBytes:     s.met.snapshotBytesHist.Snapshot(),
+		JobsRun:            s.met.jobsRun,
+		JobsCached:         s.met.jobsCached,
+		JobsFailed:         s.met.jobsFailed,
+		JobsCanceled:       s.met.jobsCanceled,
+		QueueDepth:         len(s.queue),
+		Workers:            s.opts.Workers,
+		QueueSecondsTotal:  float64(s.met.queueNanos) / 1e9,
+		QueueSamples:       s.met.queueCount,
+		RunSecondsTotal:    float64(s.met.runNanos) / 1e9,
+		RunSamples:         s.met.runCount,
+		WarmStartHits:      s.met.warmHits,
+		WarmStartMisses:    s.met.warmMisses,
+		WarmSnapshots:      len(s.warm),
+		WarmCyclesSaved:    s.met.warmCyclesSaved,
+		PanicsRecovered:    s.met.panicsRecovered,
+		JobsRetried:        s.met.jobsRetried,
+		JobsShed:           s.met.jobsShed,
+		DegradedRuns:       s.met.degradedRuns,
+		Shedding:           s.shedding,
+		CacheBytes:         s.met.cacheBytes,
+		CacheCapacity:      s.opts.CacheCapacity,
+		CacheEvictions:     s.met.cacheEvictions,
+		StorePublishDrops:  s.met.storePublishDrops,
+		QueueSeconds:       s.met.queueSecondsHist.Snapshot(),
+		RunSeconds:         s.met.runSecondsHist.Snapshot(),
+		QueueDepths:        s.met.queueDepthHist.Snapshot(),
+		QueueDepthsSampled: s.met.queueDepthSampledHist.Snapshot(),
+		ResultBytes:        s.met.resultBytesHist.Snapshot(),
+		SnapshotBytes:      s.met.snapshotBytesHist.Snapshot(),
+	}
+	if s.store != nil {
+		snap.StoreEnabled = true
+		snap.Store = s.store.Metrics()
 	}
 	if len(s.met.errorsByCode) > 0 {
 		snap.Errors = make(map[string]int64, len(s.met.errorsByCode))
@@ -272,6 +295,45 @@ func (m MetricsSnapshot) Prometheus() string {
 	w("# HELP kagura_cache_evictions_total Results evicted from the bounded cache.\n")
 	w("# TYPE kagura_cache_evictions_total counter\n")
 	w("kagura_cache_evictions_total %d\n", m.CacheEvictions)
+	// Persistent store tier. The families render unconditionally — zeros when
+	// the tier is disabled — so the exposition stays byte-stable across
+	// configurations with the same traffic.
+	w("# HELP kagura_store_enabled Persistent store tier configured and open (1 = yes).\n")
+	w("# TYPE kagura_store_enabled gauge\n")
+	enabled := 0
+	if m.StoreEnabled {
+		enabled = 1
+	}
+	w("kagura_store_enabled %d\n", enabled)
+	w("# HELP kagura_store_hits_total Persistent-store reads served, by entry kind.\n")
+	w("# TYPE kagura_store_hits_total counter\n")
+	w("kagura_store_hits_total{kind=\"result\"} %d\n", m.Store.ResultHits)
+	w("kagura_store_hits_total{kind=\"checkpoint\"} %d\n", m.Store.CheckpointHits)
+	w("# HELP kagura_store_misses_total Persistent-store reads that fell through to compute, by entry kind.\n")
+	w("# TYPE kagura_store_misses_total counter\n")
+	w("kagura_store_misses_total{kind=\"result\"} %d\n", m.Store.ResultMisses)
+	w("kagura_store_misses_total{kind=\"checkpoint\"} %d\n", m.Store.CheckpointMisses)
+	w("# HELP kagura_store_entries Entries indexed on disk.\n")
+	w("# TYPE kagura_store_entries gauge\n")
+	w("kagura_store_entries %d\n", m.Store.Entries)
+	w("# HELP kagura_store_bytes Bytes retained on disk by indexed entries.\n")
+	w("# TYPE kagura_store_bytes gauge\n")
+	w("kagura_store_bytes %d\n", m.Store.Bytes)
+	w("# HELP kagura_store_writes_total Entries written to the persistent store.\n")
+	w("# TYPE kagura_store_writes_total counter\n")
+	w("kagura_store_writes_total %d\n", m.Store.Writes)
+	w("# HELP kagura_store_write_errors_total Persistent-store writes that failed.\n")
+	w("# TYPE kagura_store_write_errors_total counter\n")
+	w("kagura_store_write_errors_total %d\n", m.Store.WriteErrors)
+	w("# HELP kagura_store_evictions_total Entries evicted under the disk budget.\n")
+	w("# TYPE kagura_store_evictions_total counter\n")
+	w("kagura_store_evictions_total %d\n", m.Store.Evictions)
+	w("# HELP kagura_store_corrupt_entries_total Corrupt or torn entries quarantined by the persistent store.\n")
+	w("# TYPE kagura_store_corrupt_entries_total counter\n")
+	w("kagura_store_corrupt_entries_total %d\n", m.Store.CorruptEntries)
+	w("# HELP kagura_store_publish_drops_total Asynchronous store writes dropped because the publish queue was full.\n")
+	w("# TYPE kagura_store_publish_drops_total counter\n")
+	w("kagura_store_publish_drops_total %d\n", m.StorePublishDrops)
 	w("# HELP kagura_job_phase_seconds Job latency by phase.\n")
 	w("# TYPE kagura_job_phase_seconds histogram\n")
 	m.QueueSeconds.WritePrometheus(&b, "kagura_job_phase_seconds", `phase="queue"`)
@@ -279,6 +341,9 @@ func (m MetricsSnapshot) Prometheus() string {
 	w("# HELP kagura_queue_depth_observed Queue depth sampled at each enqueue.\n")
 	w("# TYPE kagura_queue_depth_observed histogram\n")
 	m.QueueDepths.WritePrometheus(&b, "kagura_queue_depth_observed", "")
+	w("# HELP kagura_queue_depth_sampled Queue depth sampled on a timer tick (time-weighted).\n")
+	w("# TYPE kagura_queue_depth_sampled histogram\n")
+	m.QueueDepthsSampled.WritePrometheus(&b, "kagura_queue_depth_sampled", "")
 	w("# HELP kagura_result_bytes Estimated retained size of each cached result.\n")
 	w("# TYPE kagura_result_bytes histogram\n")
 	m.ResultBytes.WritePrometheus(&b, "kagura_result_bytes", "")

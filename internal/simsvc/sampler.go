@@ -1,0 +1,31 @@
+package simsvc
+
+import "time"
+
+// SampleQueueDepth records the current queue depth into the
+// kagura_queue_depth_sampled histogram: one observation per tick, so the
+// distribution reflects time spent at each depth rather than enqueue events
+// (kagura_queue_depth_observed, which over-represents bursts). The
+// production clock is the ticker goroutine behind Options.QueueSampleInterval;
+// tests drive this method directly with their own deterministic tick.
+func (s *Service) SampleQueueDepth() {
+	s.mu.Lock()
+	s.met.queueDepthSampledHist.Observe(float64(len(s.queue)))
+	s.mu.Unlock()
+}
+
+// queueSampler ticks SampleQueueDepth at the configured interval until the
+// service closes.
+func (s *Service) queueSampler(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.SampleQueueDepth()
+		}
+	}
+}

@@ -38,9 +38,11 @@ import (
 	"time"
 	"unsafe"
 
+	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
 	"kagura/internal/obs"
 	"kagura/internal/rng"
+	"kagura/internal/store"
 )
 
 // Errors returned by submission.
@@ -125,6 +127,29 @@ type Options struct {
 	// flap at the boundary.
 	ShedLowWater float64
 
+	// StoreDir, when non-empty, enables the persistent tier: a crash-safe
+	// on-disk store (internal/store) under this directory that result-cache
+	// and warm-start misses fall through to before computing, and that
+	// successful computes write through to asynchronously. Results persist
+	// across restarts: a new service over the same directory serves
+	// previously computed specs from disk, byte-identical to a recompute.
+	StoreDir string
+	// StoreBudgetBytes bounds the disk bytes the store retains before
+	// evicting oldest-access entries (0 ⇒ store.DefaultBudgetBytes, 1 GiB;
+	// negative ⇒ unbounded).
+	StoreBudgetBytes int64
+	// StorePublishDepth bounds the queue of pending asynchronous store
+	// writes (default 256). When full, publishes are dropped and counted
+	// (kagura_store_publish_drops_total) rather than backpressuring the
+	// serving path: persistence is best-effort, serving is not.
+	StorePublishDepth int
+
+	// QueueSampleInterval, when positive, samples queue depth on a timer
+	// into the kagura_queue_depth_sampled histogram — a time-weighted view
+	// beside the per-enqueue kagura_queue_depth_observed. 0 disables the
+	// sampler; SampleQueueDepth can always be driven manually.
+	QueueSampleInterval time.Duration
+
 	// Logger, when non-nil, receives structured job lifecycle events
 	// (submit, retry, finish) carrying the job ID, cache key, taxonomy error
 	// code, and attempt count. Nil — the default, and what benchmarks run
@@ -184,6 +209,9 @@ func (o Options) withDefaults() Options {
 	if o.ShedLowWater <= 0 || o.ShedLowWater >= o.ShedHighWater {
 		o.ShedLowWater = o.ShedHighWater / 2
 	}
+	if o.StorePublishDepth <= 0 {
+		o.StorePublishDepth = 256
+	}
 	return o
 }
 
@@ -209,13 +237,16 @@ type Job struct {
 	trace *obs.Trace
 
 	// Guarded by Service.mu until done closes.
-	state    State
-	cached   bool
-	res      *ehs.Result
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state  State
+	cached bool
+	// fromStore marks a job served from the persistent tier, so its result
+	// is not written back to the disk it just came from.
+	fromStore bool
+	res       *ehs.Result
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 	// attempts counts compute attempts actually started (0 until a worker
 	// picks the job up; 1 + retries after).
 	attempts int
@@ -311,6 +342,14 @@ type Service struct {
 	// with FIFO eviction order.
 	warm      map[warmKey]*warmEntry
 	warmOrder []warmKey
+
+	// Persistent tier (nil unless Options.StoreDir is set and opened). The
+	// pump goroutine drains storeQ until Close closes it; storeErr records a
+	// startup open failure (the service then serves memory-only).
+	store    *store.Store
+	storeErr error
+	storeQ   chan storeWrite
+	storeWG  sync.WaitGroup
 }
 
 // New creates a Service and starts its worker pool.
@@ -330,9 +369,14 @@ func New(opts Options) *Service {
 		retryRng: rng.New(opts.RetrySeed),
 	}
 	s.met.init()
+	s.openStore()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if opts.QueueSampleInterval > 0 {
+		s.wg.Add(1)
+		go s.queueSampler(opts.QueueSampleInterval)
 	}
 	return s
 }
@@ -357,6 +401,7 @@ func (s *Service) Close() {
 	// Fail whatever is still sitting in the queue so waiters unblock. A slot
 	// may belong to a promoted waiter rather than the job that was enqueued
 	// (see Cancel); resolve it the same way a worker would.
+drain:
 	for {
 		select {
 		case job := <-s.queue:
@@ -367,8 +412,16 @@ func (s *Service) Close() {
 				s.finishJob(job, nil, ErrClosed)
 			}
 		default:
-			return
+			break drain
 		}
+	}
+
+	// Flush the pending store publishes: a graceful shutdown persists every
+	// write it accepted, which is what makes restart-survival deterministic
+	// rather than racy. Workers have exited, so nothing enqueues anymore.
+	if s.storeQ != nil {
+		close(s.storeQ)
+		s.storeWG.Wait()
 	}
 }
 
@@ -467,6 +520,21 @@ func (s *Service) Job(id string) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	return s.statusLocked(job), nil
+}
+
+// JobTraceOTLP renders a job's phase trace as an OTLP/JSON trace export for
+// offline analysis with standard tracing tooling (`GET /v1/jobs/{id}?format=otlp`
+// on the HTTP API). The trace ID is derived from the job ID, so re-exports of
+// the same job carry the same identity.
+func (s *Service) JobTraceOTLP(id string) ([]byte, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	// Trace is internally synchronized; marshal outside the service lock.
+	return job.trace.MarshalOTLP("kagura-simsvc", job.id, time.Now())
 }
 
 // Jobs returns snapshots of every retained job, newest first.
@@ -808,7 +876,24 @@ func (s *Service) runJob(job *Job) {
 	s.met.queueCount++
 	s.met.queueSecondsHist.Observe(job.started.Sub(job.created).Seconds())
 	s.mu.Unlock()
-	job.trace.BeginAttempt(1, obs.PhaseCompute, job.started)
+
+	// Persistent-tier fall-through: a memory miss may still be on disk from
+	// a previous run (or process). A hit skips the simulation entirely; the
+	// result then publishes into the memory LRU like a computed one, but is
+	// not written back to the disk it came from (fromStore).
+	attemptStart := job.started
+	if s.store != nil {
+		job.trace.Begin(obs.PhaseStore, job.started)
+		if res, ok := s.storeGetResult(job.key); ok {
+			s.mu.Lock()
+			job.fromStore = true
+			s.mu.Unlock()
+			s.finishJob(job, res, nil)
+			return
+		}
+		attemptStart = time.Now()
+	}
+	job.trace.BeginAttempt(1, obs.PhaseCompute, attemptStart)
 
 	// Carry the trace so compute paths (warm-start snapshot resolution) can
 	// open their own phases inside the attempt.
@@ -960,6 +1045,13 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 			s.met.cacheBytes += int64(e.bytes)
 			s.met.resultBytesHist.Observe(float64(e.bytes))
 			s.evictCacheLocked()
+			// Write the result through to the persistent tier — unless it
+			// was just served from there.
+			if !job.fromStore {
+				s.publishStoreLocked(store.KindResult, job.key, func() ([]byte, error) {
+					return ckpt.EncodeResult(res)
+				})
+			}
 		} else {
 			delete(s.cache, job.key)
 		}

@@ -1,0 +1,137 @@
+package simsvc
+
+// The persistent tier (internal/store) behind Options.StoreDir. The memory
+// LRU stays the first tier; misses there fall through to disk before paying
+// for a simulation, and successful computes write through asynchronously:
+// the hot path only enqueues an encode-and-Put onto a bounded channel
+// drained by one background pump goroutine, so disk latency never extends
+// the service mutex or a worker's critical path. When the channel is full
+// the publish is dropped and counted (kagura_store_publish_drops_total) —
+// the result is still served and memory-cached; only its persistence is
+// best-effort. Close drains the channel, so a graceful shutdown persists
+// everything it accepted — the restart-survival contract.
+
+import (
+	"fmt"
+
+	"kagura/internal/ckpt"
+	"kagura/internal/ehs"
+	"kagura/internal/store"
+)
+
+// storeWrite is one queued asynchronous publish. encode runs on the pump
+// goroutine, off every hot path.
+type storeWrite struct {
+	kind   store.Kind
+	key    string
+	encode func() ([]byte, error)
+}
+
+// openStore wires the persistent tier during New. A store that fails to
+// open is recorded, logged, and left disabled — the service still serves
+// from memory (kagura-serve chooses to treat this as fatal instead).
+func (s *Service) openStore() {
+	if s.opts.StoreDir == "" {
+		return
+	}
+	st, err := store.Open(store.Options{Dir: s.opts.StoreDir, BudgetBytes: s.opts.StoreBudgetBytes})
+	if err != nil {
+		s.storeErr = err
+		s.logEvent("store.open.failed", "error", err.Error())
+		return
+	}
+	s.store = st
+	s.storeQ = make(chan storeWrite, s.opts.StorePublishDepth)
+	s.storeWG.Add(1)
+	go s.storePump()
+}
+
+// StoreErr returns the error that disabled the persistent store at startup,
+// or nil when the store is healthy or not configured.
+func (s *Service) StoreErr() error { return s.storeErr }
+
+// StoreMetrics returns the persistent tier's counters and whether the tier
+// is enabled.
+func (s *Service) StoreMetrics() (store.MetricsSnapshot, bool) {
+	if s.store == nil {
+		return store.MetricsSnapshot{}, false
+	}
+	return s.store.Metrics(), true
+}
+
+// storePump drains the publish queue: encode, then Put. Runs until Close
+// closes the channel; write failures are already counted by the store.
+func (s *Service) storePump() {
+	defer s.storeWG.Done()
+	for w := range s.storeQ {
+		blob, err := w.encode()
+		if err != nil {
+			continue
+		}
+		if err := s.store.Put(w.kind, w.key, blob); err != nil {
+			s.logEvent("store.put.failed", "kind", w.kind.String(), "error", err.Error())
+		}
+	}
+}
+
+// publishStoreLocked enqueues an asynchronous write-through, dropping (and
+// counting) it when the pump is backlogged. Callers hold s.mu — the
+// select-with-default never blocks.
+func (s *Service) publishStoreLocked(kind store.Kind, key string, encode func() ([]byte, error)) {
+	if s.storeQ == nil {
+		return
+	}
+	select {
+	case s.storeQ <- storeWrite{kind: kind, key: key, encode: encode}:
+	default:
+		s.met.storePublishDrops++
+	}
+}
+
+// storeGetResult serves a result-cache miss from disk. A payload that fails
+// its decoder slipped past the entry checksum (it was corrupted before the
+// checksum was computed — the torn-write chaos shape): quarantine it and
+// miss, never surface the error.
+func (s *Service) storeGetResult(key string) (*ehs.Result, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	blob, ok := s.store.Get(store.KindResult, key)
+	if !ok {
+		return nil, false
+	}
+	res, err := ckpt.DecodeResult(blob)
+	if err != nil {
+		s.store.Quarantine(store.KindResult, key)
+		return nil, false
+	}
+	return res, true
+}
+
+// warmStoreKey is the persistent-tier key for a warm-start snapshot: the
+// base spec's content key plus the fork cycle, the same identity as the
+// in-memory warmKey.
+func warmStoreKey(baseKey string, cycles int64) string {
+	return fmt.Sprintf("warm|%s|%d", baseKey, cycles)
+}
+
+// storeGetSnapshot serves a warm-start miss from disk. The decoded
+// snapshot's config fingerprint must match the base config — a mismatch
+// means the entry does not hold what its key promises, so it is quarantined
+// like any other corruption.
+func (s *Service) storeGetSnapshot(baseCfg ehs.Config, baseKey string, cycles int64) (*ehs.Snapshot, []byte, bool) {
+	if s.store == nil {
+		return nil, nil, false
+	}
+	key := warmStoreKey(baseKey, cycles)
+	blob, ok := s.store.Get(store.KindCheckpoint, key)
+	if !ok {
+		return nil, nil, false
+	}
+	snap, err := ckpt.Decode(blob)
+	if err != nil || snap.ConfigHash != baseCfg.Fingerprint() {
+		s.store.Quarantine(store.KindCheckpoint, key)
+		return nil, nil, false
+	}
+	return snap, blob, true
+}

@@ -11,6 +11,7 @@ import (
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
 	"kagura/internal/obs"
+	"kagura/internal/store"
 )
 
 // ForkPoint asks a batch to warm-start: run the base spec once to the given
@@ -196,15 +197,27 @@ func (s *Service) warmSnapshot(ctx context.Context, baseCfg ehs.Config, baseKey 
 		s.met.warmMisses++
 		s.mu.Unlock()
 
-		e.snap, e.err = computeWarmSnapshot(ctx, baseCfg, cycles)
-		if e.err == nil {
-			// Book the snapshot's encoded size. Encoding once per warm miss is
-			// noise next to the simulation that just produced the snapshot, and
-			// it is the exact wire size a checkpoint of this state would have.
-			if blob, eerr := ckpt.Encode(e.snap); eerr == nil {
-				s.mu.Lock()
-				s.met.snapshotBytesHist.Observe(float64(len(blob)))
-				s.mu.Unlock()
+		if snap, blob, ok := s.storeGetSnapshot(baseCfg, baseKey, cycles); ok {
+			// Persistent-tier hit: a previous run (or process) already paid
+			// for this prefix. Book its wire size like a fresh snapshot.
+			e.snap = snap
+			s.mu.Lock()
+			s.met.snapshotBytesHist.Observe(float64(len(blob)))
+			s.mu.Unlock()
+		} else {
+			e.snap, e.err = computeWarmSnapshot(ctx, baseCfg, cycles)
+			if e.err == nil {
+				// Book the snapshot's encoded size and write the blob through
+				// to the persistent tier. Encoding once per warm miss is noise
+				// next to the simulation that just produced the snapshot, and
+				// it is the exact wire size a checkpoint of this state has.
+				if blob, eerr := ckpt.Encode(e.snap); eerr == nil {
+					s.mu.Lock()
+					s.met.snapshotBytesHist.Observe(float64(len(blob)))
+					s.publishStoreLocked(store.KindCheckpoint, warmStoreKey(baseKey, cycles),
+						func() ([]byte, error) { return blob, nil })
+					s.mu.Unlock()
+				}
 			}
 		}
 		s.mu.Lock()

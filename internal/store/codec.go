@@ -1,0 +1,210 @@
+// Entry framing for the on-disk tier. Every file the store writes is one
+// entry: a fixed header identifying what the payload is, followed by the
+// payload bytes, with a checksum so torn or bit-flipped entries are detected
+// on read instead of being decoded into garbage.
+//
+// Format (version 1), all integers little-endian:
+//
+//	magic     8  bytes  "KAGSTOR\x00"
+//	version   2  bytes  uint16 (this file: 1)
+//	kind      1  byte   Kind (result / checkpoint)
+//	key       4+n bytes uint32 length prefix + UTF-8 key (≤ MaxKeyLen)
+//	paylen    4  bytes  uint32 payload length
+//	checksum  4  bytes  CRC-32C (Castagnoli) over the payload
+//	payload   paylen bytes
+//
+// DecodeEntry mirrors ckpt.decode's hardening: every length prefix is
+// bounded by the bytes actually remaining before any allocation, unknown
+// magic/version/kind values are errors, trailing bytes are errors, and no
+// input can cause a panic (FuzzStoreDecode holds the codec to that).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies a kagura store entry file.
+const Magic = "KAGSTOR\x00"
+
+// Version is the current entry format version. DecodeEntry refuses any other
+// value: old readers must fail loudly rather than misinterpret newer layouts.
+const Version uint16 = 1
+
+// MaxKeyLen bounds the key string carried in an entry header. Keys are
+// usually 64-byte SHA-256 hex, but programmatic (Do) keys are caller-chosen
+// strings; 256 leaves room without letting a hostile header demand an
+// unbounded allocation.
+const MaxKeyLen = 256
+
+// Kind tags what an entry's payload is.
+type Kind uint8
+
+// Entry kinds.
+const (
+	// KindResult payloads are ckpt.EncodeResult bytes (one ehs.Result).
+	KindResult Kind = 1
+	// KindCheckpoint payloads are ckpt.Encode bytes (one ehs.Snapshot).
+	KindCheckpoint Kind = 2
+)
+
+// Kinds lists every valid kind, in catalog order — the iteration set for
+// scans and byte-stable metric rendering.
+var Kinds = []Kind{KindResult, KindCheckpoint}
+
+// String returns the kind's directory and label name.
+func (k Kind) String() string {
+	switch k {
+	case KindResult:
+		return "result"
+	case KindCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+func validKind(k Kind) bool { return k == KindResult || k == KindCheckpoint }
+
+// crcTable is the Castagnoli polynomial table; CRC-32C has hardware support
+// on common CPUs and reliably catches the small bit-flip corruption a torn
+// write or chaos plan produces.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerLen returns the exact encoded header size for a key.
+func headerLen(key string) int {
+	return len(Magic) + 2 + 1 + 4 + len(key) + 4 + 4
+}
+
+// maxHeaderLen bounds how many bytes a header can occupy — what the startup
+// scan reads per file instead of the payload.
+const maxHeaderLen = len(Magic) + 2 + 1 + 4 + MaxKeyLen + 4 + 4
+
+// EncodeEntry frames a payload into the on-disk entry format. The encoding
+// is deterministic: equal inputs produce equal bytes.
+func EncodeEntry(kind Kind, key string, payload []byte) ([]byte, error) {
+	if !validKind(kind) {
+		return nil, fmt.Errorf("store: invalid kind %d", uint8(kind))
+	}
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return nil, fmt.Errorf("store: key length %d outside [1, %d]", len(key), MaxKeyLen)
+	}
+	buf := make([]byte, 0, headerLen(key)+len(payload))
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// Header is the payload-free part of an entry, parsed by DecodeHeader.
+type Header struct {
+	Kind Kind
+	Key  string
+	// PayloadLen is the payload size the header claims; the full entry is
+	// headerLen(Key)+PayloadLen bytes.
+	PayloadLen int
+	// Checksum is the header's CRC-32C claim over the payload.
+	Checksum uint32
+}
+
+// DecodeHeader parses an entry header from data, which need only hold the
+// header bytes (the startup scan reads at most maxHeaderLen bytes per file,
+// never the payload). It validates structure — magic, version, kind, key
+// bounds — but not the checksum, which requires the payload.
+func DecodeHeader(data []byte) (Header, error) {
+	var h Header
+	r := &entryReader{data: data}
+	if magic := r.take(len(Magic)); r.err == nil && string(magic) != Magic {
+		return h, fmt.Errorf("store: bad magic %q", magic)
+	}
+	if v := r.u16(); r.err == nil && v != Version {
+		return h, fmt.Errorf("store: unknown entry version %d (this build reads version %d)", v, Version)
+	}
+	kind := r.u8()
+	if r.err == nil && !validKind(Kind(kind)) {
+		return h, fmt.Errorf("store: unknown entry kind %d", kind)
+	}
+	keyLen := int(r.u32())
+	if r.err == nil && (keyLen == 0 || keyLen > MaxKeyLen) {
+		return h, fmt.Errorf("store: key length %d outside [1, %d]", keyLen, MaxKeyLen)
+	}
+	key := r.take(keyLen)
+	payLen := int(r.u32())
+	sum := r.u32()
+	if r.err != nil {
+		return h, r.err
+	}
+	h.Kind = Kind(kind)
+	h.Key = string(key)
+	h.PayloadLen = payLen
+	h.Checksum = sum
+	return h, nil
+}
+
+// DecodeEntry parses and verifies a complete entry: header structure,
+// payload length against the bytes present, checksum over the payload, and
+// no trailing bytes. Any malformation is an error; no input panics.
+func DecodeEntry(data []byte) (Header, []byte, error) {
+	h, err := DecodeHeader(data)
+	if err != nil {
+		return h, nil, err
+	}
+	body := data[headerLen(h.Key):]
+	if h.PayloadLen != len(body) {
+		return h, nil, fmt.Errorf("store: header claims %d payload bytes, file holds %d", h.PayloadLen, len(body))
+	}
+	if sum := crc32.Checksum(body, crcTable); sum != h.Checksum {
+		return h, nil, fmt.Errorf("store: payload checksum %08x does not match header %08x", sum, h.Checksum)
+	}
+	return h, body, nil
+}
+
+// entryReader parses header bytes, carrying the first error so decode logic
+// reads straight-line (the ckpt.reader idiom).
+type entryReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *entryReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.err = fmt.Errorf("store: truncated header: need %d bytes at offset %d, have %d", n, r.off, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *entryReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *entryReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *entryReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
