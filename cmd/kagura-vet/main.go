@@ -1,12 +1,19 @@
 // Command kagura-vet is the driver for kagura's project-specific static
-// analyzers (internal/lint): simdeterminism, lockedblock, mapiterorder, and
-// floateq. It runs two ways:
+// analyzers (internal/lint): simdeterminism, lockedblock, mapiterorder,
+// floateq, atomicwrite, boundeddecode, errtaxonomy, faultpoint, and
+// metricstable. It runs two ways:
 //
 // Standalone, over package patterns (the CI entry point):
 //
 //	go run ./cmd/kagura-vet ./...
+//	kagura-vet -sarif ./... > lint.sarif
 //	kagura-vet ./internal/simsvc ./internal/ehs
 //
+// Packages are analyzed in dependency order so cross-package facts (the
+// fault-point registry, the metric catalog, bounded-length helpers) resolve.
+// When the analyzed set covers the whole module, the whole-module Finish
+// checks run too (orphaned registry entries), and -unusedallow (on by
+// default) reports //kagura:allow annotations that suppressed nothing.
 // Exit status: 0 clean, 1 findings, 2 tool failure.
 //
 // As a go vet tool, speaking vet's unit-checker protocol (-V=full handshake,
@@ -14,7 +21,10 @@
 //
 //	go vet -vettool=$(which kagura-vet) ./...
 //
-// In vet mode findings exit 2, matching x/tools' unitchecker convention.
+// In vet mode facts travel in the .vetx files vet already plumbs between
+// packages (PackageVetx in, VetxOutput out); the Finish checks need the
+// whole module at once and run only in standalone mode. Findings exit 2,
+// matching x/tools' unitchecker convention.
 package main
 
 import (
@@ -39,7 +49,9 @@ func main() {
 	// its cache key for this tool.
 	versionFlag := flag.Bool("V", false, "print version and exit (go vet protocol)")
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifFlag := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	unusedFlag := flag.Bool("unusedallow", true, "report //kagura:allow annotations that suppress nothing (standalone whole-module runs)")
 	flag.Usage = usage
 	// Accept -V=full (a non-boolean value) the way vet passes it, and answer
 	// the -flags probe go vet uses to learn which flags the tool accepts.
@@ -56,7 +68,11 @@ func main() {
 
 	switch {
 	case *versionFlag:
-		fmt.Println("kagura-vet version 1 (simdeterminism,lockedblock,mapiterorder,floateq)")
+		names := make([]string, 0, len(lint.All()))
+		for _, a := range lint.All() {
+			names = append(names, a.Name)
+		}
+		fmt.Printf("kagura-vet version 2 (%s)\n", strings.Join(names, ","))
 		return
 	case *listFlag:
 		for _, a := range lint.All() {
@@ -69,7 +85,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], *jsonFlag))
 	}
-	os.Exit(runStandalone(args, *jsonFlag))
+	os.Exit(runStandalone(args, *jsonFlag, *sarifFlag, *unusedFlag))
 }
 
 // printFlagsJSON answers go vet's -flags probe: a JSON description of the
@@ -89,15 +105,15 @@ func printFlagsJSON() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: kagura-vet [-json] [-list] [packages]\n\nAnalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: kagura-vet [-json|-sarif] [-list] [-unusedallow=false] [packages]\n\nAnalyzers:\n")
 	for _, a := range lint.All() {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 	}
 }
 
 // runStandalone loads the given package patterns from source and analyzes
-// them. Returns the process exit code.
-func runStandalone(patterns []string, asJSON bool) int {
+// them in dependency order. Returns the process exit code.
+func runStandalone(patterns []string, asJSON, asSARIF, unusedAllow bool) int {
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		return fail(err)
@@ -106,24 +122,68 @@ func runStandalone(patterns []string, asJSON bool) int {
 	if err != nil {
 		return fail(err)
 	}
-	var diags []lint.Diagnostic
+	requested := make(map[string]bool, len(paths))
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
+		if _, err := loader.Load(path); err != nil {
 			return fail(fmt.Errorf("loading %s: %w", path, err))
 		}
-		ds, err := lint.RunAnalyzers(lint.All(), pkg)
+		requested[path] = true
+	}
+	suite := lint.NewSuite(lint.All())
+	// The unused-suppression report is only sound when every analyzer ran
+	// over the annotation's package, which RunPackage guarantees; it is
+	// reported per package, so partial runs are fine.
+	suite.ReportUnusedAllow = unusedAllow
+	// Loaded() also holds the module-local dependencies the requested
+	// packages pulled in; analyzing them too (diagnostics kept only for the
+	// requested set) is what makes cross-package facts — the fault-point
+	// registry, the metric catalog — resolve on partial runs.
+	var diags []lint.Diagnostic
+	for _, pkg := range lint.TopoSort(loader.Loaded()) {
+		ds, err := suite.RunPackage(pkg)
 		if err != nil {
 			return fail(err)
 		}
-		diags = append(diags, ds...)
+		if requested[pkg.Path] {
+			diags = append(diags, ds...)
+		}
+	}
+	// Whole-module checks (orphaned registry entries, dead catalog rows) are
+	// only meaningful when the analyzed set is the whole module; on a partial
+	// run every consumer outside the set would look like an orphan.
+	if coversModule(loader, paths) {
+		diags = append(diags, suite.Finish()...)
 	}
 	lint.SortDiagnostics(diags)
-	emit(os.Stdout, diags, asJSON, loader.ModDir)
+	switch {
+	case asSARIF:
+		emitSARIF(os.Stdout, diags, loader.ModDir)
+	default:
+		emit(os.Stdout, diags, asJSON, loader.ModDir)
+	}
 	if len(diags) > 0 && !asJSON {
 		return 1
 	}
 	return 0
+}
+
+// coversModule reports whether the analyzed import paths include every
+// package in the module.
+func coversModule(loader *lint.Loader, analyzed []string) bool {
+	all, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		return false
+	}
+	have := make(map[string]bool, len(analyzed))
+	for _, p := range analyzed {
+		have[p] = true
+	}
+	for _, p := range all {
+		if !have[p] {
+			return false
+		}
+	}
+	return true
 }
 
 // emit prints diagnostics, with positions relative to the module root so
@@ -147,6 +207,91 @@ func emit(w io.Writer, diags []lint.Diagnostic, asJSON bool, modDir string) {
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: [%s] %s\n", relPos(d, modDir), d.Analyzer, d.Message)
 	}
+}
+
+// emitSARIF renders diagnostics as a SARIF 2.1.0 log, the interchange format
+// code-scanning UIs ingest. One run, one rule per analyzer (plus the
+// unusedallow pseudo-rule), uris relative to the module root.
+func emitSARIF(w io.Writer, diags []lint.Diagnostic, modDir string) {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	type sarifArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifDriver struct {
+		Name           string      `json:"name"`
+		InformationURI string      `json:"informationUri"`
+		Rules          []sarifRule `json:"rules"`
+	}
+	type sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	type sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+	type sarifLog struct {
+		Version string     `json:"version"`
+		Schema  string     `json:"$schema"`
+		Runs    []sarifRun `json:"runs"`
+	}
+
+	rules := []sarifRule{{
+		ID:               lint.UnusedAllowName,
+		ShortDescription: sarifMessage{Text: "report //kagura:allow annotations that suppress nothing or lack a reason"},
+	}}
+	for _, a := range lint.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: file},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{Tool: sarifTool{Driver: sarifDriver{
+			Name:           "kagura-vet",
+			InformationURI: "DESIGN.md#8-static-analysis",
+			Rules:          rules,
+		}}, Results: results}},
+	})
 }
 
 func relPos(d lint.Diagnostic, modDir string) string {
@@ -174,6 +319,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -183,6 +329,11 @@ type vetConfig struct {
 // runVetUnit analyzes one package described by a vet .cfg file. Returns the
 // process exit code (0 clean, 1 failure, 2 findings — unitchecker's
 // convention, which go vet surfaces as the findings themselves).
+//
+// Cross-package facts ride vet's own fact plumbing: the facts of every
+// dependency arrive serialized in the PackageVetx files, and this package's
+// facts leave through VetxOutput — so the analyzers run even on VetxOnly
+// (facts-only) units, with diagnostics discarded.
 func runVetUnit(cfgFile string, asJSON bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -192,14 +343,23 @@ func runVetUnit(cfgFile string, asJSON bool) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return vetFail(fmt.Errorf("%s: %w", cfgFile, err))
 	}
-	// This tool produces no cross-package facts, but vet requires the output
-	// file to exist for its action cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	// Written unconditionally (possibly empty) before any early return: vet
+	// requires the file to exist for its action cache even when this unit
+	// contributes nothing.
+	writeVetx := func(facts []lint.Fact) int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		payload, err := lint.EncodeFacts(facts)
+		if err != nil {
 			return vetFail(err)
 		}
-	}
-	if cfg.VetxOnly {
+		if len(facts) == 0 {
+			payload = nil
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			return vetFail(err)
+		}
 		return 0
 	}
 
@@ -213,12 +373,15 @@ func runVetUnit(cfgFile string, asJSON bool) int {
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
+			if code := writeVetx(nil); code != 0 {
+				return code
+			}
 			return typecheckFailed(cfg, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0
+		return writeVetx(nil)
 	}
 
 	// Imports resolve through the export data the go command already built,
@@ -235,6 +398,9 @@ func runVetUnit(cfgFile string, asJSON bool) int {
 	info := lint.NewInfo()
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
+		if code := writeVetx(nil); code != 0 {
+			return code
+		}
 		return typecheckFailed(cfg, err)
 	}
 
@@ -246,11 +412,26 @@ func runVetUnit(cfgFile string, asJSON bool) int {
 		Types: tpkg,
 		Info:  info,
 	}
-	diags, err := lint.RunAnalyzers(lint.All(), pkg)
+	suite := lint.NewSuite(lint.All())
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a dependency that exported nothing may have no file
+		}
+		facts, err := lint.DecodeFacts(data)
+		if err != nil {
+			return vetFail(fmt.Errorf("%s: %w", vetxFile, err))
+		}
+		suite.Facts.AddAll(facts)
+	}
+	diags, err := suite.RunPackage(pkg)
 	if err != nil {
 		return vetFail(err)
 	}
-	if len(diags) == 0 {
+	if code := writeVetx(suite.Facts.PkgFacts(cfg.ImportPath)); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	if asJSON {

@@ -59,6 +59,7 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmp)
 		return err
 	}
+	//kagura:allow atomicwrite this IS the atomic-write commit point: the temp file was fsynced above, so the rename publishes complete, durable bytes
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err

@@ -202,12 +202,12 @@ func TestEnableValidation(t *testing.T) {
 	bad := []Rule{
 		{Point: "", Kind: KindError, Nth: 1},
 		{Point: "x", Kind: "bogus", Nth: 1},
-		{Point: "x", Kind: KindError},                                  // no trigger
-		{Point: "x", Kind: KindError, Nth: 1, Every: 2},                // two triggers
-		{Point: "x", Kind: KindError, Probability: 1.5},                // out of range
-		{Point: "x", Kind: KindError, Nth: -1},                         // negative
-		{Point: "x", Kind: KindError, Nth: 1, Limit: -1},               // negative limit
-		{Point: "x", Kind: KindLatency, Nth: 1},                        // latency without delay
+		{Point: "x", Kind: KindError},                                               // no trigger
+		{Point: "x", Kind: KindError, Nth: 1, Every: 2},                             // two triggers
+		{Point: "x", Kind: KindError, Probability: 1.5},                             // out of range
+		{Point: "x", Kind: KindError, Nth: -1},                                      // negative
+		{Point: "x", Kind: KindError, Nth: 1, Limit: -1},                            // negative limit
+		{Point: "x", Kind: KindLatency, Nth: 1},                                     // latency without delay
 		{Point: "x", Kind: KindError, Probability: 0.5, LatencyMicros: 0, Every: 1}, // two triggers
 	}
 	for i, r := range bad {

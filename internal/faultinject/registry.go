@@ -1,0 +1,39 @@
+package faultinject
+
+// Registered is the central registry of every fault-injection point name
+// compiled into the tree. Fault Plans (the chaos soak, operator runbooks)
+// target points by these names, so the list is the contract between the code
+// that declares points and the tooling that arms them.
+//
+// The faultpoint analyzer (internal/lint) enforces the registry statically:
+// every faultinject.Point call site must use a literal name listed here,
+// names must be unique across the module, and an entry declared by no
+// package is flagged as stale. Keep the slice sorted — the analyzer checks
+// that too, so additions merge without churn.
+var Registered = []string{
+	"ckpt.decode",
+	"ckpt.encode",
+	"ckpt.write",
+	"simsvc.cache.insert",
+	"simsvc.coalesce",
+	"simsvc.compute",
+	"simsvc.http.body",
+	"simsvc.http.response",
+	"simsvc.warm.evict",
+	"simsvc.warmstart.fork",
+	"simsvc.warmstart.snapshot",
+	"store.evict",
+	"store.open",
+	"store.read",
+	"store.write",
+}
+
+// IsRegistered reports whether name is in the central registry.
+func IsRegistered(name string) bool {
+	for _, n := range Registered {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package faultinject
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The registry is the contract chaos tooling targets by name; it must stay
+// sorted and duplicate-free so additions merge cleanly and lookups are
+// unambiguous. The faultpoint analyzer enforces the same shape statically —
+// this test keeps the invariant honest even when the linter is not run.
+func TestRegisteredSortedUnique(t *testing.T) {
+	if !sort.StringsAreSorted(Registered) {
+		t.Fatalf("Registered is not sorted: %v", Registered)
+	}
+	seen := make(map[string]bool, len(Registered))
+	for _, name := range Registered {
+		if seen[name] {
+			t.Fatalf("duplicate registry entry %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestIsRegistered(t *testing.T) {
+	for _, name := range Registered {
+		if !IsRegistered(name) {
+			t.Fatalf("IsRegistered(%q) = false for a registry entry", name)
+		}
+	}
+	for _, name := range []string{"", "nope", "simsvc.computer", "ckpt"} {
+		if IsRegistered(name) {
+			t.Fatalf("IsRegistered(%q) = true for a name outside the registry", name)
+		}
+	}
+}
+
+// Every point declared by a package linked into this binary must be in the
+// registry. The lint suite proves this for the whole module; the runtime
+// check covers whatever subset is linked here. Test files are exempt from
+// the lint contract, so points this package's own tests declare (the
+// test.* names) are exempt here too.
+func TestLinkedPointsRegistered(t *testing.T) {
+	for _, name := range Points() {
+		if strings.HasPrefix(name, "test.") {
+			continue
+		}
+		if !IsRegistered(name) {
+			t.Fatalf("declared fault point %q is not in Registered", name)
+		}
+	}
+}

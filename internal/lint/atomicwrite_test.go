@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestAtomicWrite runs the fixture under a persisting identity: raw
+// os.WriteFile/os.Create/os.Rename are flagged (reverting an atomic call
+// site to os.WriteFile is exactly this case); WriteFileAtomic, temp files,
+// reads, and the annotated quarantine rename pass.
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/src/atomicwrite", "kagura/internal/store")
+}
+
+// TestAtomicWriteNonPersisting runs the same raw primitives under a
+// report-writing identity, where they are legal and the analyzer stays
+// silent.
+func TestAtomicWriteNonPersisting(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/src/atomicwrite/report", "kagura/cmd/kagura-bench")
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestErrTaxonomy runs the fixture under the simsvc identity: unmapped
+// sentinels and error types are flagged, as is fmt.Errorf wrapping an error
+// without %w; mapped sentinels, %w wrapping, root-cause errors, and the
+// annotated internal sentinel pass.
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/src/errtaxonomy", "kagura/internal/simsvc")
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// FaultPoint enforces the fault-injection contract from DESIGN.md §10: every
+// injection point compiled into the tree is a unique, literal name listed in
+// the central registry (faultinject.Registered). Chaos plans target points
+// by name; a dynamically built or unregistered name is a point no plan can
+// reliably arm, and a duplicate name merges two unrelated code paths into
+// one occurrence counter, silently corrupting deterministic replay.
+//
+// Three single-package checks plus one whole-module check:
+//
+//   - in kagura/internal/faultinject, the Registered slice must hold unique,
+//     sorted string literals; each entry exports a "registered" fact;
+//   - at every faultinject.Point call site, the name must be a plain string
+//     literal, present in the registry facts, and not declared by any
+//     already-analyzed package (a "declared" fact is exported per site);
+//   - the Finish hook reports registry entries no package declares — the
+//     orphan check that keeps the registry from rotting.
+var FaultPoint = &Analyzer{
+	Name:   "faultpoint",
+	Doc:    "require every faultinject.Point name to be a unique literal listed in faultinject.Registered",
+	Run:    runFaultPoint,
+	Finish: finishFaultPoint,
+}
+
+// faultinjectPath is the package that owns Point and the central registry.
+const faultinjectPath = "kagura/internal/faultinject"
+
+// Fact kinds exported by this analyzer.
+const (
+	factPointRegistered = "faultpoint.registered"
+	factPointDeclared   = "faultpoint.declared"
+)
+
+func runFaultPoint(pass *Pass) error {
+	if pass.Pkg.Path() == faultinjectPath {
+		checkPointRegistry(pass)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.FuncOf(call)
+			if fn == nil || fn.Name() != "Point" || fn.Pkg() == nil || fn.Pkg().Path() != faultinjectPath {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			name, pos, ok := stringLiteral(call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "faultpoint",
+					"fault-point name must be a plain string literal — a dynamically built name cannot be targeted by a chaos plan or audited by the registry")
+				return true
+			}
+			if len(pass.LookupFact(factPointRegistered, name)) == 0 {
+				pass.Reportf(pos, "faultpoint",
+					"fault point %q is not listed in faultinject.Registered; add it to the central registry", name)
+			}
+			if prior := pass.LookupFact(factPointDeclared, name); len(prior) > 0 {
+				pass.Reportf(pos, "faultpoint",
+					"fault point %q is already declared at %s; point names must be unique or their occurrence counters merge", name, prior[0].Pos)
+			}
+			pass.ExportFact(factPointDeclared, name, pos)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPointRegistry validates the Registered slice and exports one
+// "registered" fact per entry.
+func checkPointRegistry(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "Registered" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				prev := ""
+				for _, elt := range lit.Elts {
+					name, pos, ok := stringLiteral(elt)
+					if !ok {
+						pass.Reportf(elt.Pos(), "faultpoint",
+							"faultinject.Registered entries must be string literals")
+						continue
+					}
+					if len(pass.LookupFact(factPointRegistered, name)) > 0 {
+						pass.Reportf(pos, "faultpoint",
+							"duplicate registry entry %q", name)
+						continue
+					}
+					if prev != "" && name < prev {
+						pass.Reportf(pos, "faultpoint",
+							"registry entry %q is out of order (after %q); keep Registered sorted so diffs stay reviewable", name, prev)
+					}
+					prev = name
+					pass.ExportFact(factPointRegistered, name, pos)
+				}
+			}
+		}
+	}
+}
+
+// finishFaultPoint reports registry entries no analyzed package declares.
+func finishFaultPoint(pass *FinishPass) {
+	for _, reg := range pass.Facts.OfKind(factPointRegistered) {
+		if len(pass.Facts.Lookup(factPointDeclared, reg.Value)) == 0 {
+			pass.Reportf(reg.Pos,
+				"registered fault point %q is declared by no package; delete the stale registry entry or add the faultinject.Point call", reg.Value)
+		}
+	}
+}
+
+// stringLiteral unquotes e if it is a plain string literal.
+func stringLiteral(e ast.Expr) (string, token.Pos, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", token.NoPos, false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", token.NoPos, false
+	}
+	return s, lit.Pos(), true
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestFaultPoint runs the call-site fixture: names must be literals from the
+// central registry (facts imported from the real faultinject package) and
+// unique across the analyzed set.
+func TestFaultPoint(t *testing.T) {
+	linttest.Run(t, lint.FaultPoint, "testdata/src/faultpoint", "kagura/internal/fpfixture")
+}
+
+// TestFaultPointRegistry runs the registry fixture under the faultinject
+// identity: duplicate, unsorted, and non-literal entries are flagged.
+func TestFaultPointRegistry(t *testing.T) {
+	linttest.Run(t, lint.FaultPoint, "testdata/src/faultpoint/registry", "kagura/internal/faultinject")
+}
+
+// TestFaultPointOrphans exercises the Finish hook: a registry analyzed with
+// no declaring packages leaves every well-formed entry orphaned.
+func TestFaultPointOrphans(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/faultpoint/registry", "kagura/internal/faultinject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := lint.NewSuite([]*lint.Analyzer{lint.FaultPoint})
+	if _, err := suite.RunPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	orphans := suite.Finish()
+	// Three entries export facts (the duplicate and the non-literal do not);
+	// none is declared by a faultinject.Point call.
+	if len(orphans) != 3 {
+		t.Fatalf("got %d orphan diagnostics, want 3: %v", len(orphans), orphans)
+	}
+	for _, d := range orphans {
+		if !strings.Contains(d.Message, "declared by no package") {
+			t.Fatalf("unexpected orphan diagnostic: %v", d)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package lint is kagura's project-specific static-analysis suite. It
-// enforces the two invariants the rest of the repository depends on but the
+// enforces the invariants the rest of the repository depends on but the
 // compiler cannot check:
 //
 //   - Simulation determinism: the deterministic core packages (ehs, cache,
@@ -12,10 +12,27 @@
 //     holding a mutex — the class of bug behind PR 1's close-of-closed-channel
 //     worker panic (analyzer lockedblock).
 //
+//   - Persistence and service contracts: durable state is written atomically
+//     (atomicwrite), wire-read lengths are bounded before allocation
+//     (boundeddecode), fault-injection point names come from the central
+//     registry (faultpoint), boundary errors are classifiable (errtaxonomy),
+//     and metric names come from the exposition catalog (metricstable).
+//
 // The framework deliberately mirrors golang.org/x/tools/go/analysis (Analyzer
-// / Pass / Diagnostic) but is built on the standard library alone, because
-// this module carries no third-party dependencies. cmd/kagura-vet is the
-// multichecker driver; linttest is the analysistest-style fixture runner.
+// / Pass / Diagnostic, plus cross-package facts) but is built on the standard
+// library alone, because this module carries no third-party dependencies.
+// cmd/kagura-vet is the multichecker driver; linttest is the
+// analysistest-style fixture runner.
+//
+// # Facts
+//
+// An analyzer may export facts about a package's declarations ("this string
+// is a registered fault-point name") via Pass.ExportFact; when a downstream
+// package is analyzed later — the Suite runs packages in dependency order —
+// the same analyzer imports them via Pass.LookupFact. Analyzers with a
+// Finish hook additionally get one whole-module pass over the accumulated
+// facts, which is where orphan checks live (a registered name no package
+// declares). See facts.go.
 //
 // # Suppression
 //
@@ -24,9 +41,11 @@
 //
 //	//kagura:allow <check>[,<check>...] <reason>
 //
-// where <check> is either an analyzer name ("lockedblock") or one of
-// simdeterminism's sub-checks ("goroutine", "time", "rand", "env"). The
-// reason is free text and should say why the invariant holds anyway.
+// where <check> is either an analyzer name ("lockedblock") or one of an
+// analyzer's sub-checks ("goroutine", "time", "rand", "env"). The reason is
+// mandatory free text saying why the invariant holds anyway; a Suite with
+// ReportUnusedAllow set flags annotations that suppressed nothing (stale)
+// and annotations without a reason.
 package lint
 
 import (
@@ -46,12 +65,25 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis, reporting findings through pass.Reportf.
 	Run func(*Pass) error
+	// Finish, when set, runs once after every package has been analyzed and
+	// reports whole-module findings from the accumulated facts (orphans:
+	// facts exported by a registry that no package consumed). Only the
+	// standalone driver runs finishers, and only when the analyzed set
+	// covers the whole module — go vet mode has no end-of-run hook.
+	Finish func(*FinishPass)
 }
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDeterminism, LockedBlock, MapIterOrder, FloatEq}
+	return []*Analyzer{
+		SimDeterminism, LockedBlock, MapIterOrder, FloatEq,
+		AtomicWrite, BoundedDecode, ErrTaxonomy, FaultPoint, MetricsTable,
+	}
 }
+
+// UnusedAllowName is the pseudo-analyzer name under which stale or
+// reason-less //kagura:allow annotations are reported.
+const UnusedAllowName = "unusedallow"
 
 // A Diagnostic is one finding.
 type Diagnostic struct {
@@ -65,30 +97,30 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's view of one typechecked package.
-type Pass struct {
-	Fset  *token.FileSet
-	Files []*ast.File // non-test files only; test files are exempt by design
-	Pkg   *types.Package
-	Info  *types.Info
-
-	analyzer *Analyzer
-	allow    map[string]map[int][]string // filename → line → allowed checks
-	diags    *[]Diagnostic
+// allowCheck is one check name from a //kagura:allow comment, with usage
+// tracking for the unusedallow report.
+type allowCheck struct {
+	name string
+	used bool
 }
 
-// NewPass assembles a Pass for one analyzer over a loaded package, appending
-// findings to diags. Suppression comments are indexed once per call.
-func NewPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
-	p := &Pass{
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		analyzer: a,
-		allow:    make(map[string]map[int][]string),
-		diags:    diags,
-	}
+// allowComment is one parsed //kagura:allow annotation.
+type allowComment struct {
+	pos    token.Position
+	checks []*allowCheck
+	reason string
+}
+
+// allowIndex holds every //kagura:allow annotation of one package, shared by
+// all analyzers in a suite run so usage accumulates across them.
+type allowIndex struct {
+	byLine map[string]map[int][]*allowComment // filename → line → comments
+	all    []*allowComment                    // in source order
+}
+
+// newAllowIndex parses the //kagura:allow annotations of a package.
+func newAllowIndex(pkg *Package) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*allowComment)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -100,31 +132,115 @@ func NewPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
 				if len(fields) == 0 {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				lines := p.allow[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					p.allow[pos.Filename] = lines
+				ac := &allowComment{
+					pos:    pkg.Fset.Position(c.Pos()),
+					reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0])),
 				}
-				lines[pos.Line] = append(lines[pos.Line], strings.Split(fields[0], ",")...)
+				for _, name := range strings.Split(fields[0], ",") {
+					ac.checks = append(ac.checks, &allowCheck{name: name})
+				}
+				lines := idx.byLine[ac.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowComment)
+					idx.byLine[ac.pos.Filename] = lines
+				}
+				lines[ac.pos.Line] = append(lines[ac.pos.Line], ac)
+				idx.all = append(idx.all, ac)
 			}
 		}
 	}
-	return p
+	return idx
+}
+
+// suppresses reports whether an annotation covers (analyzer, check) at the
+// position, marking the matching check used.
+func (idx *allowIndex) suppresses(pos token.Position, analyzer, check string) bool {
+	lines, ok := idx.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, ac := range lines[line] {
+			for _, c := range ac.checks {
+				if c.name == check || c.name == analyzer {
+					c.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// unusedDiagnostics reports annotations that suppressed nothing and
+// annotations missing a reason.
+func (idx *allowIndex) unusedDiagnostics() []Diagnostic {
+	var diags []Diagnostic
+	for _, ac := range idx.all {
+		if ac.reason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:      ac.pos,
+				Analyzer: UnusedAllowName,
+				Check:    UnusedAllowName,
+				Message:  "//kagura:allow must carry a reason explaining why the invariant holds anyway",
+			})
+		}
+		for _, c := range ac.checks {
+			if !c.used {
+				diags = append(diags, Diagnostic{
+					Pos:      ac.pos,
+					Analyzer: UnusedAllowName,
+					Check:    UnusedAllowName,
+					Message:  fmt.Sprintf("//kagura:allow %s suppressed nothing; delete the stale annotation", c.name),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// A Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only; test files are exempt by design
+	Pkg   *types.Package
+	Info  *types.Info
+	// Facts is the run-wide fact store: facts of already-analyzed
+	// dependencies are visible, and ExportFact adds this package's.
+	Facts *FactStore
+
+	analyzer *Analyzer
+	allow    *allowIndex
+	diags    *[]Diagnostic
+}
+
+// NewPass assembles a Pass for one analyzer over a loaded package, appending
+// findings to diags, with a private allow index and fact store. Suite runs
+// share both across analyzers instead; this constructor serves one-off
+// single-analyzer runs.
+func NewPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+	return newPass(a, pkg, diags, newAllowIndex(pkg), NewFactStore())
+}
+
+func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic, allow *allowIndex, facts *FactStore) *Pass {
+	return &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Facts:    facts,
+		analyzer: a,
+		allow:    allow,
+		diags:    diags,
+	}
 }
 
 // Reportf records a finding unless a //kagura:allow annotation for check (or
 // for the whole analyzer) covers its line or the line above.
 func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if lines, ok := p.allow[position.Filename]; ok {
-		for _, line := range []int{position.Line, position.Line - 1} {
-			for _, name := range lines[line] {
-				if name == check || name == p.analyzer.Name {
-					return
-				}
-			}
-		}
+	if p.allow.suppresses(position, p.analyzer.Name, check) {
+		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
@@ -132,6 +248,28 @@ func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
 		Check:    check,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportFact records a cross-package fact about this package, visible to
+// passes over downstream packages and to Finish hooks.
+func (p *Pass) ExportFact(kind, value string, pos token.Pos) {
+	p.Facts.Add(Fact{
+		Pkg:   p.Pkg.Path(),
+		Kind:  kind,
+		Value: value,
+		Pos:   p.Fset.Position(pos),
+	})
+}
+
+// LookupFact returns the facts matching (kind, value) exported so far — by
+// this package's dependencies, and by earlier declarations in this package.
+func (p *Pass) LookupFact(kind, value string) []Fact {
+	return p.Facts.Lookup(kind, value)
+}
+
+// FactsOf returns every fact of the given kind exported so far.
+func (p *Pass) FactsOf(kind string) []Fact {
+	return p.Facts.OfKind(kind)
 }
 
 // TypeOf returns the type of expr, or nil when untypechecked.
@@ -154,16 +292,84 @@ func (p *Pass) FuncOf(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// RunAnalyzers applies every analyzer to pkg and returns the new findings.
-func RunAnalyzers(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+// A FinishPass is the whole-module view an analyzer's Finish hook reports
+// from: facts only, no AST — positions come from the facts themselves.
+// Finish findings are not //kagura:allow-suppressible: they indicate a stale
+// registry entry, and the fix is editing the registry, not annotating it.
+type FinishPass struct {
+	// Facts holds every fact exported across the analyzed packages.
+	Facts *FactStore
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a whole-module finding at the given position.
+func (p *FinishPass) Reportf(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Check:    p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Suite runs a set of analyzers over packages with shared state: one fact
+// store (so cross-package facts flow in dependency order) and one allow
+// index per package (so unused-suppression tracking spans all analyzers).
+type Suite struct {
+	Analyzers []*Analyzer
+	// Facts accumulates cross-package facts; pre-populate via
+	// Facts.AddAll to import serialized facts (vet mode).
+	Facts *FactStore
+	// ReportUnusedAllow adds unusedallow diagnostics for annotations that
+	// suppressed nothing across the whole suite and annotations without a
+	// reason. Enable only when running every analyzer — a partial suite
+	// makes legitimately-used annotations look stale.
+	ReportUnusedAllow bool
+}
+
+// NewSuite returns a Suite over the given analyzers with an empty fact store.
+func NewSuite(analyzers []*Analyzer) *Suite {
+	return &Suite{Analyzers: analyzers, Facts: NewFactStore()}
+}
+
+// RunPackage applies every analyzer to pkg and returns the new findings.
+// Packages must be fed in dependency order (TopoSort) for facts to resolve.
+func (s *Suite) RunPackage(pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		if err := a.Run(NewPass(a, pkg, &diags)); err != nil {
+	allow := newAllowIndex(pkg)
+	for _, a := range s.Analyzers {
+		if err := a.Run(newPass(a, pkg, &diags, allow, s.Facts)); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	if s.ReportUnusedAllow {
+		diags = append(diags, allow.unusedDiagnostics()...)
+	}
 	SortDiagnostics(diags)
 	return diags, nil
+}
+
+// Finish runs every analyzer's Finish hook over the accumulated facts. Call
+// once, after every package in the module has been through RunPackage.
+func (s *Suite) Finish() []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range s.Analyzers {
+		if a.Finish != nil {
+			a.Finish(&FinishPass{Facts: s.Facts, analyzer: a, diags: &diags})
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// RunAnalyzers applies every analyzer to pkg with a fresh fact store and
+// returns the new findings — the single-package entry point used by vet mode
+// and simple tests. Cross-package facts resolve only if the analyzers
+// export them while running on this same package.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return NewSuite(analyzers).RunPackage(pkg)
 }
 
 // SortDiagnostics orders findings by position then analyzer, so output is

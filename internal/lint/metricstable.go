@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// MetricsTable enforces the metrics contract from DESIGN.md §11: every
+// kagura_* family name served on /metrics is a named constant in the
+// exposition package (internal/obs), so dashboards and alerts have one
+// greppable source of truth and a renamed metric is a reviewed diff in the
+// catalog, not a silent break in every query that mentioned the old name.
+//
+// Three checks plus one whole-module check:
+//
+//   - in the exposition package, every top-level string constant whose value
+//     starts with kagura_ must be a well-formed family name (lowercase,
+//     digits, underscores); each exports a "name" fact, duplicates are
+//     reported;
+//   - in every other package, a kagura_* token inside a string literal must
+//     match a catalogued name exactly; an unknown token is a finding;
+//   - a kagura_* token immediately followed by a format verb (%) is a
+//     format-string-built name — banned outright, because the rendered name
+//     can never be checked against the catalog;
+//   - the Finish hook reports catalogued names no package ever renders —
+//     dead table entries that make dashboards trust metrics that do not
+//     exist.
+var MetricsTable = &Analyzer{
+	Name: "metricstable",
+	//kagura:allow metricstable the analyzer's own description names the prefix it polices
+	Doc:    "require every kagura_* metric family name to be a const in the exposition catalog (internal/obs)",
+	Run:    runMetricsTable,
+	Finish: finishMetricsTable,
+}
+
+// expositionPath is the package that owns the metric-name catalog.
+const expositionPath = "kagura/internal/obs"
+
+// Fact kinds exported by this analyzer.
+const (
+	factMetricName     = "metricstable.name"
+	factMetricRendered = "metricstable.rendered"
+)
+
+// metricToken matches a candidate kagura_* family name inside a literal.
+//
+//kagura:allow metricstable the analyzer's own pattern quotes the name shape it polices
+var metricToken = regexp.MustCompile(`kagura_[a-z0-9_]*`)
+
+// wellFormedMetric is the shape a catalogued family name must have.
+//
+//kagura:allow metricstable the analyzer's own pattern quotes the name shape it polices
+var wellFormedMetric = regexp.MustCompile(`^kagura_[a-z0-9_]*[a-z0-9]$`)
+
+func runMetricsTable(pass *Pass) error {
+	if pass.Pkg.Path() == expositionPath {
+		checkMetricCatalog(pass)
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, _, ok := stringLiteral(lit)
+			if !ok {
+				return true
+			}
+			for _, loc := range metricToken.FindAllStringIndex(name, -1) {
+				tok := name[loc[0]:loc[1]]
+				if loc[1] < len(name) && name[loc[1]] == '%' {
+					pass.Reportf(lit.Pos(), "metricstable",
+						"metric family name built with a format verb (%q…); a constructed name can never be checked against the catalog — spell the full name as a const in %s", tok, expositionPath)
+					continue
+				}
+				if len(pass.LookupFact(factMetricName, tok)) == 0 {
+					pass.Reportf(lit.Pos(), "metricstable",
+						"metric family %q is not in the exposition catalog (%s); add the const or fix the name", tok, expositionPath)
+					continue
+				}
+				pass.ExportFact(factMetricRendered, tok, lit.Pos())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMetricCatalog validates the exposition package's catalog and exports
+// one "name" fact per entry. Literals elsewhere in the package are not
+// scanned: the catalog package is where names are born.
+func checkMetricCatalog(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nameID := range vs.Names {
+					obj := pass.Info.Defs[nameID]
+					if obj == nil {
+						continue
+					}
+					c, ok := obj.(interface{ Val() constant.Value })
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					//kagura:allow metricstable the prefix probe is how the analyzer finds candidates, not a family name
+					if !strings.HasPrefix(val, "kagura_") {
+						continue
+					}
+					if !wellFormedMetric.MatchString(val) {
+						pass.Reportf(nameID.Pos(), "metricstable",
+							//kagura:allow metricstable the diagnostic text spells out the required name shape
+							"catalogued metric name %q is malformed; family names are kagura_ followed by lowercase, digits, and single underscores", val)
+						continue
+					}
+					if len(pass.LookupFact(factMetricName, val)) > 0 {
+						pass.Reportf(nameID.Pos(), "metricstable",
+							"duplicate catalog entry for metric %q", val)
+						continue
+					}
+					pass.ExportFact(factMetricName, val, nameID.Pos())
+				}
+			}
+		}
+	}
+}
+
+// finishMetricsTable reports catalogued names no analyzed package renders.
+func finishMetricsTable(pass *FinishPass) {
+	for _, name := range pass.Facts.OfKind(factMetricName) {
+		if len(pass.Facts.Lookup(factMetricRendered, name.Value)) == 0 {
+			pass.Reportf(name.Pos,
+				"catalogued metric %q is rendered by no package; delete the dead table entry or wire it into the exposition", name.Value)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestMetricsTable runs the consumer fixture: kagura_* tokens in literals
+// must match the catalog (facts imported from the real obs package);
+// format-verb-built names are banned; the annotated experimental family
+// passes.
+func TestMetricsTable(t *testing.T) {
+	linttest.Run(t, lint.MetricsTable, "testdata/src/metricstable", "kagura/internal/metricsfixture")
+}
+
+// TestMetricsTableCatalog runs the catalog fixture under the obs identity:
+// malformed and duplicate catalog entries are flagged.
+func TestMetricsTableCatalog(t *testing.T) {
+	linttest.Run(t, lint.MetricsTable, "testdata/src/metricstable/catalog", "kagura/internal/obs")
+}
+
+// TestMetricsTableOrphans exercises the Finish hook: a catalog analyzed with
+// no rendering packages leaves its well-formed entry orphaned.
+func TestMetricsTableOrphans(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/metricstable/catalog", "kagura/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := lint.NewSuite([]*lint.Analyzer{lint.MetricsTable})
+	if _, err := suite.RunPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	orphans := suite.Finish()
+	if len(orphans) != 1 {
+		t.Fatalf("got %d orphan diagnostics, want 1: %v", len(orphans), orphans)
+	}
+	if !strings.Contains(orphans[0].Message, "rendered by no package") {
+		t.Fatalf("unexpected orphan diagnostic: %v", orphans[0])
+	}
+}

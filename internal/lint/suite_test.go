@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"kagura/internal/lint"
+)
+
+// TestUnusedAllow runs a suite with ReportUnusedAllow over a fixture loaded
+// under a persisting identity: the consumed annotation is silent, the stale
+// one and the reason-less one are reported, and nothing else leaks through.
+func TestUnusedAllow(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/unusedallow", "kagura/internal/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := lint.NewSuite([]*lint.Analyzer{lint.AtomicWrite})
+	suite.ReportUnusedAllow = true
+	diags, err := suite.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != lint.UnusedAllowName {
+			t.Fatalf("unexpected analyzer %q in %v", d.Analyzer, d)
+		}
+	}
+	var haveStale, haveNoReason bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppressed nothing") {
+			haveStale = true
+		}
+		if strings.Contains(d.Message, "must carry a reason") {
+			haveNoReason = true
+		}
+	}
+	if !haveStale || !haveNoReason {
+		t.Fatalf("missing expected reports (stale=%v, noReason=%v): %v", haveStale, haveNoReason, diags)
+	}
+}

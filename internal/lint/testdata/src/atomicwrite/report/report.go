@@ -1,0 +1,19 @@
+// Package reportfixture is the atomicwrite negative fixture, loaded under a
+// non-persisting identity (kagura/cmd/kagura-bench): report files are not
+// recovery state, so the raw primitives are legal here and the analyzer must
+// stay silent.
+package reportfixture
+
+import "os"
+
+func writeReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func createReport(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+func rotate(old, cur string) error {
+	return os.Rename(cur, old)
+}

@@ -1,0 +1,59 @@
+// Package svcfixture is a fixture for the errtaxonomy analyzer, loaded under
+// the simsvc identity: sentinels and error types outside Classify's reach are
+// flagged, as is fmt.Errorf wrapping an error without %w. Mapped sentinels,
+// %w wrapping, and root-cause errors with no error argument pass.
+package svcfixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrMapped   = errors.New("svcfixture: mapped")
+	ErrUnmapped = errors.New("svcfixture: unmapped") // want `not referenced in Classify`
+	//kagura:allow errtaxonomy fixture: internal bookkeeping sentinel, never escapes the package boundary
+	errInternal = errors.New("svcfixture: internal bookkeeping")
+)
+
+type specError struct{ msg string }
+
+func (e *specError) Error() string { return e.msg }
+
+type lostError struct{ msg string } // want `error type lostError is not referenced in Classify`
+
+func (e *lostError) Error() string { return e.msg }
+
+func Classify(err error) string {
+	var spec *specError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrMapped):
+		return "mapped"
+	case errors.As(err, &spec):
+		return "bad_spec"
+	}
+	return "internal"
+}
+
+func wrapBroken(err error) error {
+	return fmt.Errorf("running job: %v", err) // want `passes an error without %w`
+}
+
+// --- Legal patterns: everything below must produce no findings. ---
+
+func wrapOK(err error) error {
+	return fmt.Errorf("running job: %w", err)
+}
+
+func rootCause(path string) error {
+	return fmt.Errorf("open %s: no such checkpoint", path)
+}
+
+func use() error {
+	if err := wrapBroken(errInternal); err != nil {
+		return wrapOK(err)
+	}
+	return rootCause(Classify(&lostError{msg: "x"}))
+}

@@ -1,0 +1,21 @@
+// Package fpfixture is a fixture for the faultpoint analyzer's call-site
+// checks: point names must be plain literals listed in the central registry
+// (imported here through the real kagura/internal/faultinject package, whose
+// facts the suite loads first) and unique across the analyzed set.
+package fpfixture
+
+import "kagura/internal/faultinject"
+
+var (
+	fpRead = faultinject.Point("store.read")
+	fpNew  = faultinject.Point("fixture.unregistered") // want `not listed in faultinject.Registered`
+	fpDup  = faultinject.Point("store.read")           // want `already declared`
+	//kagura:allow faultpoint fixture: local-only point, armed by this package's own tests, never by a shared chaos plan
+	fpLocal = faultinject.Point("fixture.local")
+)
+
+func dynamic(suffix string) *faultinject.PointID {
+	return faultinject.Point("fixture." + suffix) // want `must be a plain string literal`
+}
+
+var _ = []*faultinject.PointID{fpRead, fpNew, fpDup, fpLocal}

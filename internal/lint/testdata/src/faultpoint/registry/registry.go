@@ -1,0 +1,14 @@
+// Package faultinject is a fixture for the faultpoint analyzer's registry
+// checks, loaded under the identity of the real registry package: entries
+// must be unique, sorted string literals.
+package faultinject
+
+const computed = "store." + "computed"
+
+var Registered = []string{
+	"ckpt.decode",
+	"store.read",
+	"alpha.out.of.order", // want `out of order`
+	"store.read",         // want `duplicate registry entry`
+	computed,             // want `must be string literals`
+}

@@ -1,0 +1,13 @@
+// Package obsfixture is a fixture for the metricstable analyzer's catalog
+// checks, loaded under the identity of the exposition package: kagura_*
+// constants must be well-formed and unique. Non-metric constants are
+// ignored.
+package obsfixture
+
+const (
+	MetricGood    = "kagura_fixture_good_total"
+	MetricBad     = "kagura_trailing_"          // want `malformed`
+	MetricDup     = "kagura_fixture_good_total" // want `duplicate catalog entry`
+	NotMetric     = "plain_string"
+	AlsoNotMetric = "kagura/internal/obs"
+)

@@ -1,0 +1,24 @@
+// Package metricsfixture is a fixture for the metricstable analyzer's
+// consumer checks: every kagura_* token in a string literal must match a
+// catalogued family name (imported here through the real kagura/internal/obs
+// package, whose facts the suite loads first); names built with format verbs
+// are banned outright.
+package metricsfixture
+
+import (
+	"fmt"
+
+	"kagura/internal/obs"
+)
+
+var _ = obs.MetricJobsTotal
+
+func render(kind string, n int) string {
+	s := "# TYPE kagura_jobs_total counter\n"
+	s += fmt.Sprintf("kagura_jobs_total{status=\"run\"} %d\n", n)
+	s += fmt.Sprintf("kagura_bogus_metric %d\n", n) // want `not in the exposition catalog`
+	s += fmt.Sprintf("kagura_%s_total 1\n", kind)   // want `built with a format verb`
+	//kagura:allow metricstable fixture: experimental family, graduates to the catalog before it ships
+	s += "kagura_fixture_experimental 0\n"
+	return s
+}

@@ -1,0 +1,20 @@
+// Package unusedfixture is a fixture for the unusedallow report: an
+// annotation that suppresses a real finding passes, an annotation on a line
+// that triggers nothing is stale, and an annotation without a reason is
+// flagged even when it suppresses.
+package unusedfixture
+
+import "os"
+
+func scratch(path string, data []byte) error {
+	//kagura:allow atomicwrite fixture: suppression consumed by the write below
+	return os.WriteFile(path, data, 0o644)
+}
+
+//kagura:allow atomicwrite nothing on this line writes a file
+var stale = 1
+
+func alsoScratch(path string, data []byte) error {
+	//kagura:allow atomicwrite
+	return os.WriteFile(path, data, 0o644)
+}

@@ -6,9 +6,33 @@ import (
 	"kagura/internal/lint"
 )
 
+// TestSuiteComplete pins the analyzer roster: DESIGN.md §8 documents exactly
+// these, and CI cross-checks the section headings against kagura-vet -list.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"simdeterminism", "lockedblock", "mapiterorder", "floateq",
+		"atomicwrite", "boundeddecode", "errtaxonomy", "faultpoint", "metricstable",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Fatalf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
 // TestRepositoryClean runs the full analyzer suite over every package in the
 // module — the same gate as CI's `go run ./cmd/kagura-vet ./...` — so a
-// finding fails plain `go test ./...` too, not just the vet job.
+// finding fails plain `go test ./...` too, not just the vet job. Packages run
+// in dependency order so cross-package facts (the fault-point registry, the
+// metric catalog) resolve; the set covers the whole module, so the Finish
+// orphan checks and the unused-suppression report run too.
 func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module analysis is slow; run without -short")
@@ -24,17 +48,26 @@ func TestRepositoryClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("pattern expansion found only %d packages: %v", len(paths), paths)
 	}
+	var pkgs []*lint.Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := lint.RunAnalyzers(lint.All(), pkg)
+		pkgs = append(pkgs, pkg)
+	}
+	suite := lint.NewSuite(lint.All())
+	suite.ReportUnusedAllow = true
+	for _, pkg := range lint.TopoSort(pkgs) {
+		diags, err := suite.RunPackage(pkg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 		}
+	}
+	for _, d := range suite.Finish() {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 	}
 }

@@ -1,0 +1,99 @@
+package obs
+
+// The metric-name catalog: every kagura_* family the service exposes on
+// /metrics, as named constants. Dashboards, alerts, and recording rules key
+// off these strings, so a rename must be a reviewed diff here — the
+// metricstable analyzer (internal/lint) rejects any kagura_* literal
+// elsewhere in the module that is not one of these values, bans names built
+// with format verbs, and flags catalog entries no package renders.
+//
+// Grouped the way Metrics.Prometheus renders them; keep names lowercase
+// with single underscores (the analyzer checks the shape too).
+const (
+	// Service throughput and occupancy.
+	MetricJobsTotal  = "kagura_jobs_total"
+	MetricQueueDepth = "kagura_queue_depth"
+	MetricWorkers    = "kagura_workers"
+	MetricCachedKeys = "kagura_cached_keys"
+
+	// Stage timings.
+	MetricStageSecondsTotal = "kagura_stage_seconds_total"
+	MetricStageSamplesTotal = "kagura_stage_samples_total"
+
+	// Warm-start snapshot cache.
+	MetricWarmStartTotal       = "kagura_warm_start_total"
+	MetricWarmSnapshots        = "kagura_warm_snapshots"
+	MetricWarmCyclesSavedTotal = "kagura_warm_cycles_saved_total"
+	MetricWarmSnapshotBytes    = "kagura_warm_snapshot_bytes"
+
+	// Resilience: retries, shedding, degradation, classified errors.
+	MetricPanicsRecoveredTotal = "kagura_panics_recovered_total"
+	MetricJobsRetriedTotal     = "kagura_jobs_retried_total"
+	MetricJobsShedTotal        = "kagura_jobs_shed_total"
+	MetricDegradedRuns         = "kagura_degraded_runs"
+	MetricShedding             = "kagura_shedding"
+	MetricErrorsTotal          = "kagura_errors_total"
+
+	// In-memory result cache.
+	MetricCacheBytes          = "kagura_cache_bytes"
+	MetricCacheCapacity       = "kagura_cache_capacity"
+	MetricCacheEvictionsTotal = "kagura_cache_evictions_total"
+
+	// Persistent on-disk store.
+	MetricStoreEnabled           = "kagura_store_enabled"
+	MetricStoreHitsTotal         = "kagura_store_hits_total"
+	MetricStoreMissesTotal       = "kagura_store_misses_total"
+	MetricStoreEntries           = "kagura_store_entries"
+	MetricStoreBytes             = "kagura_store_bytes"
+	MetricStoreWritesTotal       = "kagura_store_writes_total"
+	MetricStoreWriteErrorsTotal  = "kagura_store_write_errors_total"
+	MetricStoreEvictionsTotal    = "kagura_store_evictions_total"
+	MetricStoreCorruptTotal      = "kagura_store_corrupt_entries_total"
+	MetricStorePublishDropsTotal = "kagura_store_publish_drops_total"
+
+	// Histograms.
+	MetricJobPhaseSeconds    = "kagura_job_phase_seconds"
+	MetricQueueDepthObserved = "kagura_queue_depth_observed"
+	MetricQueueDepthSampled  = "kagura_queue_depth_sampled"
+	MetricResultBytes        = "kagura_result_bytes"
+)
+
+// KnownMetricNames returns every catalogued family name, in declaration
+// order. Tests assert the exposition renders exactly this set.
+func KnownMetricNames() []string {
+	return []string{
+		MetricJobsTotal,
+		MetricQueueDepth,
+		MetricWorkers,
+		MetricCachedKeys,
+		MetricStageSecondsTotal,
+		MetricStageSamplesTotal,
+		MetricWarmStartTotal,
+		MetricWarmSnapshots,
+		MetricWarmCyclesSavedTotal,
+		MetricWarmSnapshotBytes,
+		MetricPanicsRecoveredTotal,
+		MetricJobsRetriedTotal,
+		MetricJobsShedTotal,
+		MetricDegradedRuns,
+		MetricShedding,
+		MetricErrorsTotal,
+		MetricCacheBytes,
+		MetricCacheCapacity,
+		MetricCacheEvictionsTotal,
+		MetricStoreEnabled,
+		MetricStoreHitsTotal,
+		MetricStoreMissesTotal,
+		MetricStoreEntries,
+		MetricStoreBytes,
+		MetricStoreWritesTotal,
+		MetricStoreWriteErrorsTotal,
+		MetricStoreEvictionsTotal,
+		MetricStoreCorruptTotal,
+		MetricStorePublishDropsTotal,
+		MetricJobPhaseSeconds,
+		MetricQueueDepthObserved,
+		MetricQueueDepthSampled,
+		MetricResultBytes,
+	}
+}

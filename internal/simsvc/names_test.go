@@ -1,0 +1,44 @@
+package simsvc
+
+import (
+	"strings"
+	"testing"
+
+	"kagura/internal/obs"
+)
+
+// The exposition and the catalog (obs.KnownMetricNames) must describe the
+// same set of families: a family served but not catalogued is invisible to
+// the metricstable analyzer's contract, and a catalogued family never served
+// is a dashboard pointed at nothing. Every family renders unconditionally —
+// zeros when idle — so the zero snapshot is the complete exposition.
+func TestExpositionMatchesCatalog(t *testing.T) {
+	text := MetricsSnapshot{}.Prometheus()
+	served := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, "# TYPE ")
+		if !ok {
+			continue
+		}
+		name, _, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("malformed TYPE line %q", line)
+		}
+		if served[name] {
+			t.Fatalf("family %s declares TYPE twice", name)
+		}
+		served[name] = true
+	}
+	catalog := make(map[string]bool)
+	for _, name := range obs.KnownMetricNames() {
+		catalog[name] = true
+		if !served[name] {
+			t.Errorf("catalogued metric %s is not served by the exposition", name)
+		}
+	}
+	for name := range served {
+		if !catalog[name] {
+			t.Errorf("served family %s is not in obs.KnownMetricNames", name)
+		}
+	}
+}

@@ -445,6 +445,7 @@ func (s *Store) quarantineFileLocked(path string) {
 	s.met.corruptTotal++
 	s.nextBad++
 	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%06d-%s", s.nextBad, filepath.Base(path)))
+	//kagura:allow atomicwrite the source file is already complete (and already corrupt); the move relocates evidence, it does not commit new bytes
 	if err := os.Rename(path, dst); err != nil {
 		os.Remove(path)
 	}
