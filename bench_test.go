@@ -12,12 +12,14 @@ package kagura_test
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"sync"
 	"testing"
 
 	"kagura"
+	"kagura/internal/campaign"
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
 )
@@ -206,4 +208,59 @@ func BenchmarkWarmStartSweep(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) { runBatch(b, nil) })
 	b.Run("warm", func(b *testing.B) { runBatch(b, &kagura.ForkPoint{Cycles: cycles}) })
+}
+
+// benchCampaignSpec is the 8×8 scale × decay-interval campaign whose
+// progress surface peaks interior to the grid — the same campaign
+// TestHalvingMatchesGridBest (internal/campaign) uses for its ≤50%-
+// submissions acceptance bound.
+func benchCampaignSpec(strategy string) *kagura.CampaignSpec {
+	raw := func(vals ...any) []json.RawMessage {
+		out := make([]json.RawMessage, len(vals))
+		for i, v := range vals {
+			blob, err := json.Marshal(v)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = blob
+		}
+		return out
+	}
+	return &kagura.CampaignSpec{
+		Name:     "bench",
+		Strategy: strategy,
+		Base:     kagura.RunSpec{App: "jpeg", Codec: "BDI", ACC: true, Kagura: true},
+		Axes: []kagura.CampaignAxis{
+			{Param: "scale", Values: raw(0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16)},
+			{Param: "decayInterval", Values: raw(0, 500, 1000, 2000, 4000, 8000, 16000, 32000)},
+		},
+		Objective: kagura.CampaignObjective{Metric: campaign.MetricProgress, Goal: campaign.GoalMax},
+	}
+}
+
+// BenchmarkCampaignSweep times the 64-point campaign under the exhaustive
+// grid vs. adaptive successive halving. Both land on the same best point
+// (asserted in internal/campaign's tests); the halving/grid ns/op ratio is
+// the wall-clock win of adaptive search, and the "points" metric records how
+// many simulations each strategy actually submitted. A fresh service per
+// iteration keeps the strategies from serving each other's cache.
+func BenchmarkCampaignSweep(b *testing.B) {
+	run := func(b *testing.B, strategy string) {
+		opts := kagura.DefaultServiceOptions()
+		opts.Workers = 8
+		var points int
+		for i := 0; i < b.N; i++ {
+			svc := kagura.NewService(opts)
+			runner := &kagura.CampaignRunner{Svc: svc}
+			rep, err := runner.Run(context.Background(), benchCampaignSpec(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			points = rep.Submitted
+			svc.Close()
+		}
+		b.ReportMetric(float64(points), "points")
+	}
+	b.Run("grid", func(b *testing.B) { run(b, campaign.StrategyGrid) })
+	b.Run("halving", func(b *testing.B) { run(b, campaign.StrategyHalving) })
 }

@@ -12,6 +12,8 @@
 //	curl -s -X POST localhost:8080/v1/batch \
 //	    -d '{"jobs":[{"app":"jpeg","scale":0.1},{"app":"gsm","scale":0.1}]}'
 //	curl -s localhost:8080/v1/jobs/job-00000001
+//	curl -s -X POST localhost:8080/v1/campaigns -d @campaign.json
+//	curl -s 'localhost:8080/v1/campaigns/c1?format=csv'
 //	curl -s localhost:8080/metrics
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
@@ -150,9 +152,12 @@ func main() {
 		}()
 	}
 
+	campaigns := kagura.NewCampaignManager(svc)
+	defer campaigns.Close()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(kagura.ServiceHandler(svc)),
+		Handler:           logRequests(kagura.CampaignHandler(campaigns, kagura.ServiceHandler(svc))),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -181,7 +186,8 @@ func main() {
 			log.Printf("kagura-serve: forced shutdown: %v", err)
 		}
 	}
-	svc.Close() // reap in-flight jobs before the final tally
+	campaigns.Close() // cancel campaign goroutines before their service goes away
+	svc.Close()       // reap in-flight jobs before the final tally
 	m := svc.Metrics()
 	log.Printf("kagura-serve: done — %d run, %d cached, %d failed, %d canceled",
 		m.JobsRun, m.JobsCached, m.JobsFailed, m.JobsCanceled)

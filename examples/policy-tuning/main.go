@@ -1,63 +1,102 @@
 // Policy-tuning: explore Kagura's controller knobs — the R_thres adaptation
 // policy (Fig 21), the additive increase step (Fig 22), and the trigger
-// style (Fig 19) — on a single workload, using only the public API.
+// style (Fig 19) — on a single workload.
+//
+// The sweep itself is declarative: campaign.json names the three axes in
+// star mode (each knob varied against the same base run) and the campaign
+// engine executes them against the simulation service, baseline comparisons
+// included. main only renders the report. The same spec file works
+// unchanged with the CLI or a server:
+//
+//	kagura-campaign run -spec examples/policy-tuning/campaign.json
+//	curl -X POST localhost:8080/v1/campaigns -d @examples/policy-tuning/campaign.json
 package main
 
 import (
+	"bytes"
+	"context"
+	_ "embed"
+	"encoding/json"
 	"fmt"
 	"log"
+	"strings"
 
 	"kagura"
 )
 
+//go:embed campaign.json
+var campaignJSON []byte
+
 func main() {
-	app, err := kagura.Workload("typeset", 0.5)
+	out, err := run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace, err := kagura.Trace("RFHome", 2)
+	fmt.Print(out)
+}
+
+func run() (string, error) {
+	spec, err := kagura.DecodeCampaignSpec(bytes.NewReader(campaignJSON))
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
-	base, err := kagura.Run(kagura.DefaultConfig(app, trace))
+	svc := kagura.NewService(kagura.DefaultServiceOptions())
+	defer svc.Close()
+	runner := &kagura.CampaignRunner{Svc: svc}
+	rep, err := runner.Run(context.Background(), spec)
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
-	run := func(kc kagura.ControllerConfig) *kagura.Result {
-		res, err := kagura.Run(kagura.DefaultConfig(app, trace).
-			WithACC(kagura.BDI{}).WithKagura(kc))
-		if err != nil {
-			log.Fatal(err)
+	return render(spec, rep)
+}
+
+func render(spec *kagura.CampaignSpec, rep *kagura.CampaignReport) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: typeset-style text layout where plain ACC wastes energy\n\n", spec.Base.App)
+
+	b.WriteString("R_thres adaptation policy (paper selects AIMD):\n")
+	for _, p := range pointsFor(rep, "policy") {
+		var policy string
+		if err := json.Unmarshal(p.Params[0].Value, &policy); err != nil {
+			return "", err
 		}
-		return res
+		fmt.Fprintf(&b, "  %-5s %+6.2f%% speedup, %+6.2f%% energy, %5d compressions\n",
+			policy, 100**p.Metrics.SpeedupVsBaseline, 100**p.Metrics.EnergyReductionVsBaseline,
+			p.Metrics.Compressions)
 	}
 
-	fmt.Printf("workload %s: typeset-style text layout where plain ACC wastes energy\n\n", app.Name)
-
-	fmt.Println("R_thres adaptation policy (paper selects AIMD):")
-	for _, p := range []kagura.Policy{kagura.AIMD, kagura.MIAD, kagura.AIAD, kagura.MIMD} {
-		kc := kagura.DefaultController()
-		kc.Policy = p
-		r := run(kc)
-		fmt.Printf("  %-5s %+6.2f%% speedup, %+6.2f%% energy, %5d compressions\n",
-			p, 100*r.Speedup(base), 100*r.EnergyReduction(base), r.Compressions)
+	b.WriteString("\nadditive increase step (paper selects 10%):\n")
+	for _, p := range pointsFor(rep, "increaseStep") {
+		var step float64
+		if err := json.Unmarshal(p.Params[0].Value, &step); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %4.0f%%  %+6.2f%% speedup, %+6.2f%% energy\n",
+			step*100, 100**p.Metrics.SpeedupVsBaseline, 100**p.Metrics.EnergyReductionVsBaseline)
 	}
 
-	fmt.Println("\nadditive increase step (paper selects 10%):")
-	for _, step := range []float64{0.05, 0.10, 0.15, 0.20} {
-		kc := kagura.DefaultController()
-		kc.IncreaseStep = step
-		r := run(kc)
-		fmt.Printf("  %4.0f%%  %+6.2f%% speedup, %+6.2f%% energy\n",
-			step*100, 100*r.Speedup(base), 100*r.EnergyReduction(base))
+	b.WriteString("\ntrigger style (memory-count vs voltage monitor):\n")
+	for _, p := range pointsFor(rep, "trigger") {
+		var trig string
+		if err := json.Unmarshal(p.Params[0].Value, &trig); err != nil {
+			return "", err
+		}
+		if trig == "voltage" {
+			trig = "vol" // the hardware register's display name (Trigger.String)
+		}
+		fmt.Fprintf(&b, "  %-4s  %+6.2f%% speedup, %d RM entries\n",
+			trig, 100**p.Metrics.SpeedupVsBaseline, p.Metrics.KaguraRMEntries)
 	}
+	return b.String(), nil
+}
 
-	fmt.Println("\ntrigger style (memory-count vs voltage monitor):")
-	for _, trig := range []kagura.Trigger{kagura.TriggerMem, kagura.TriggerVoltage} {
-		kc := kagura.DefaultController()
-		kc.Trigger = trig
-		r := run(kc)
-		fmt.Printf("  %-4s  %+6.2f%% speedup, %d RM entries\n",
-			trig, 100*r.Speedup(base), r.KaguraRMEntries)
+// pointsFor selects the star points that vary one named axis, in value order.
+func pointsFor(rep *kagura.CampaignReport, param string) []kagura.CampaignPoint {
+	var out []kagura.CampaignPoint
+	for _, p := range rep.Points {
+		if len(p.Params) == 1 && p.Params[0].Param == param {
+			out = append(out, p)
+		}
 	}
+	return out
 }

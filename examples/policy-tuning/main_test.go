@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kagura"
+)
+
+// The campaign-driven example must print byte-for-byte what the original
+// hand-rolled loops printed: same simulations, same baseline comparisons,
+// same formatting. legacyOutput below IS the pre-campaign main(), kept as
+// the migration oracle.
+func TestCampaignOutputMatchesLegacyLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 11-simulation tuning sweep twice")
+	}
+	want, err := legacyOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("campaign output diverges from the legacy loops:\n--- legacy\n%s\n--- campaign\n%s", want, got)
+	}
+}
+
+func legacyOutput() (string, error) {
+	app, err := kagura.Workload("typeset", 0.5)
+	if err != nil {
+		return "", err
+	}
+	trace, err := kagura.Trace("RFHome", 2)
+	if err != nil {
+		return "", err
+	}
+	base, err := kagura.Run(kagura.DefaultConfig(app, trace))
+	if err != nil {
+		return "", err
+	}
+	run := func(kc kagura.ControllerConfig) (*kagura.Result, error) {
+		return kagura.Run(kagura.DefaultConfig(app, trace).
+			WithACC(kagura.BDI{}).WithKagura(kc))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: typeset-style text layout where plain ACC wastes energy\n\n", app.Name)
+
+	b.WriteString("R_thres adaptation policy (paper selects AIMD):\n")
+	for _, p := range []kagura.Policy{kagura.AIMD, kagura.MIAD, kagura.AIAD, kagura.MIMD} {
+		kc := kagura.DefaultController()
+		kc.Policy = p
+		r, err := run(kc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-5s %+6.2f%% speedup, %+6.2f%% energy, %5d compressions\n",
+			p, 100*r.Speedup(base), 100*r.EnergyReduction(base), r.Compressions)
+	}
+
+	b.WriteString("\nadditive increase step (paper selects 10%):\n")
+	for _, step := range []float64{0.05, 0.10, 0.15, 0.20} {
+		kc := kagura.DefaultController()
+		kc.IncreaseStep = step
+		r, err := run(kc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %4.0f%%  %+6.2f%% speedup, %+6.2f%% energy\n",
+			step*100, 100*r.Speedup(base), 100*r.EnergyReduction(base))
+	}
+
+	b.WriteString("\ntrigger style (memory-count vs voltage monitor):\n")
+	for _, trig := range []kagura.Trigger{kagura.TriggerMem, kagura.TriggerVoltage} {
+		kc := kagura.DefaultController()
+		kc.Trigger = trig
+		r, err := run(kc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-4s  %+6.2f%% speedup, %d RM entries\n",
+			trig, 100*r.Speedup(base), r.KaguraRMEntries)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"kagura/internal/ehs"
+	"kagura/internal/simsvc"
+)
+
+// maxDispatchRetries bounds how often one wave chunk is re-dispatched after a
+// transient submission failure (injected faults, a momentarily full queue).
+// Re-dispatching is idempotent: the content-addressed cache coalesces any
+// spec already in flight, so a retry never double-computes.
+const maxDispatchRetries = 64
+
+// Runner executes campaigns against a simulation service. Met may be nil
+// (every Metrics method is nil-safe); Progress, when set, receives one call
+// per dispatched point as its job enters the service — the live-status hook
+// the Manager and CLI use.
+type Runner struct {
+	Svc *simsvc.Service
+	Met *Metrics
+	// Progress observes each dispatched point: the wave (1-based), the point
+	// index, and the simsvc job ID whose per-phase obs trace tracks it
+	// (GET /v1/jobs/{id}).
+	Progress func(round, index int, jobID string)
+}
+
+// resultSet accumulates per-point results, indexed by point. Evaluation
+// order never matters: best scans ascending indices with strict-improvement
+// comparisons, so the set's answers depend only on which points are filled.
+type resultSet struct {
+	res []*ehs.Result
+}
+
+func newResultSet(total int) *resultSet { return &resultSet{res: make([]*ehs.Result, total)} }
+
+// value evaluates the objective metric on one result.
+func (o Objective) value(r *ehs.Result) float64 {
+	switch o.Metric {
+	case MetricProgress:
+		if r.ExecSeconds > 0 {
+			return float64(r.Committed) / r.ExecSeconds
+		}
+		return 0
+	case MetricExecSeconds:
+		return r.ExecSeconds
+	default:
+		return r.Energy.Total()
+	}
+}
+
+// better reports whether candidate strictly improves on incumbent — ties
+// keep the incumbent, so ascending-index scans are deterministic without
+// float equality.
+func (o Objective) better(candidate, incumbent float64) bool {
+	if o.Goal == GoalMax {
+		return candidate > incumbent
+	}
+	return candidate < incumbent
+}
+
+// best returns the evaluated point index that optimizes the objective,
+// scanning ascending so equal values resolve to the lowest index.
+func (rs *resultSet) best(obj Objective) (int, bool) {
+	bestIdx := -1
+	var bestVal float64
+	for i, r := range rs.res {
+		if r == nil {
+			continue
+		}
+		v := obj.value(r)
+		if bestIdx < 0 || obj.better(v, bestVal) {
+			bestIdx, bestVal = i, v
+		}
+	}
+	return bestIdx, bestIdx >= 0
+}
+
+// Run executes the campaign to completion and builds its report. The report
+// is a pure function of (spec, results): same spec + seed ⇒ byte-identical
+// report regardless of the service's worker count, because every scheduling
+// decision is strategy-driven and every result lands in its indexed slot.
+func (r *Runner) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		r.Met.campaignFailed()
+		return nil, err
+	}
+	r.Met.campaignStarted()
+	rep, err := r.run(ctx, spec)
+	if err != nil {
+		r.Met.campaignFailed()
+		return nil, err
+	}
+	r.Met.campaignCompleted()
+	return rep, nil
+}
+
+func (r *Runner) run(ctx context.Context, spec *Spec) (*Report, error) {
+	space := newSpace(spec)
+	total := space.total()
+	results := newResultSet(total)
+	rounds := make([]int, total) // wave number per evaluated point, 1-based
+
+	var baseline *ehs.Result
+	if spec.Baseline != nil {
+		// The baseline is not a sweep point; Progress sees it as round 0,
+		// index -1.
+		res, err := r.runPoints(ctx, 0, []int{-1}, []simsvc.RunSpec{*spec.Baseline}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: baseline: %w", err)
+		}
+		baseline = res[0]
+	}
+
+	strat := newStrategy(spec, space)
+	submitted, round := 0, 0
+	for {
+		wave := strat.next(results)
+		if len(wave) == 0 {
+			break
+		}
+		round++
+		specs := make([]simsvc.RunSpec, len(wave))
+		for i, idx := range wave {
+			sp, err := space.runSpec(idx)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = sp
+		}
+		for off := 0; off < len(wave); off += spec.BatchSize {
+			end := off + spec.BatchSize
+			if end > len(wave) {
+				end = len(wave)
+			}
+			res, err := r.runPoints(ctx, round, wave[off:end], specs[off:end], spec.ForkPoint)
+			if err != nil {
+				return nil, err
+			}
+			for i, idx := range wave[off:end] {
+				results.res[idx] = res[i]
+				rounds[idx] = round
+			}
+		}
+		submitted += len(wave)
+		r.Met.pointsSubmitted(len(wave))
+		r.Met.roundFinished()
+	}
+
+	return buildReport(spec, space, results, rounds, baseline, submitted, round), nil
+}
+
+// runPoints dispatches one chunk of specs as a fork-batch and waits for every
+// job in index order. Transient dispatch failures — injected faults at
+// campaign.dispatch, a full queue, the load-shedding breaker — retry the
+// whole chunk (bounded); the result cache coalesces duplicates, so retried
+// chunks settle to the same results a clean dispatch produces.
+func (r *Runner) runPoints(ctx context.Context, round int, indices []int, specs []simsvc.RunSpec, fork *simsvc.ForkPoint) ([]*ehs.Result, error) {
+	var jobs []*simsvc.Job
+	for attempt := 0; ; attempt++ {
+		err := fpDispatch.Fire(ctx)
+		if err == nil {
+			jobs, err = r.Svc.SubmitBatchFork(specs, fork)
+			if err == nil {
+				break
+			}
+		}
+		if attempt >= maxDispatchRetries || !transient(err) {
+			return nil, fmt.Errorf("campaign: dispatch: %w", err)
+		}
+		r.Met.dispatchRetried()
+	}
+	if r.Progress != nil {
+		for i, job := range jobs {
+			r.Progress(round, indices[i], job.ID())
+		}
+	}
+	out := make([]*ehs.Result, len(jobs))
+	for i, job := range jobs {
+		res, err := job.Wait(ctx)
+		for attempt := 0; err != nil && attempt < maxDispatchRetries && transient(err); attempt++ {
+			// The job's own retry budget is exhausted; resubmit the point
+			// (through the same fork, so it keeps its cache identity). A
+			// completed twin serves from the cache, an in-flight twin coalesces.
+			r.Met.dispatchRetried()
+			var twins []*simsvc.Job
+			twins, err = r.Svc.SubmitBatchFork(specs[i:i+1], fork)
+			if err != nil {
+				continue
+			}
+			res, err = twins[0].Wait(ctx)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: point %d: %w", indices[i], err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// transient reports whether a dispatch or job failure is worth retrying:
+// queue pressure, load shedding, and injected faults settle; validation and
+// deterministic simulation failures do not.
+func transient(err error) bool {
+	switch simsvc.Classify(err) {
+	case simsvc.CodeQueueFull, simsvc.CodeOverloaded, simsvc.CodeFaultInjected, simsvc.CodePanic:
+		return true
+	}
+	return false
+}

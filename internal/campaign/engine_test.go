@@ -1,0 +1,319 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"kagura/internal/simsvc"
+)
+
+func newTestService(t *testing.T, workers int) *simsvc.Service {
+	t.Helper()
+	svc := simsvc.New(simsvc.Options{Workers: workers, QueueDepth: 256})
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func rawVals(vals ...any) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = blob
+	}
+	return out
+}
+
+// smallSpec is a fast 3×2 cross campaign with a baseline — the determinism
+// workhorse.
+func smallSpec() *Spec {
+	return &Spec{
+		Name: "small",
+		Base: simsvc.RunSpec{App: "jpeg", Codec: "BDI", ACC: true},
+		Baseline: &simsvc.RunSpec{
+			App: "jpeg", Scale: 0.02,
+		},
+		Axes: []Axis{
+			{Param: "scale", Values: rawVals(0.02, 0.03, 0.04)},
+			{Param: "decayInterval", Values: rawVals(0, 1000)},
+		},
+	}
+}
+
+// benchSpec is the 8×8 campaign whose progress surface peaks interior to the
+// grid (scale 0.10, decay 0) — the halving-vs-grid acceptance campaign,
+// shared with BenchmarkCampaignSweep.
+func benchSpec(strategy string) *Spec {
+	return &Spec{
+		Name:     "bench",
+		Strategy: strategy,
+		Base:     simsvc.RunSpec{App: "jpeg", Codec: "BDI", ACC: true, Kagura: true},
+		Axes: []Axis{
+			{Param: "scale", Values: rawVals(0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16)},
+			{Param: "decayInterval", Values: rawVals(0, 500, 1000, 2000, 4000, 8000, 16000, 32000)},
+		},
+		Objective: Objective{Metric: MetricProgress, Goal: GoalMax},
+	}
+}
+
+func runCampaign(t *testing.T, svc *simsvc.Service, spec *Spec) *Report {
+	t.Helper()
+	r := &Runner{Svc: svc, Met: &Metrics{}}
+	rep, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	return rep
+}
+
+func exports(t *testing.T, rep *Report) ([]byte, []byte) {
+	t.Helper()
+	js, err := rep.ExportJSON()
+	if err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	csv, err := rep.ExportCSV()
+	if err != nil {
+		t.Fatalf("ExportCSV: %v", err)
+	}
+	return js, csv
+}
+
+// Same spec + seed must export byte-identically regardless of the service's
+// worker count — the campaign-level version of the determinism invariant the
+// chaos soak proves for single jobs. Run under -race in CI.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates dozens of points")
+	}
+	variants := []struct {
+		name string
+		spec func() *Spec
+	}{
+		{"grid", smallSpec},
+		{"random", func() *Spec {
+			s := smallSpec()
+			s.Strategy = StrategyRandom
+			s.Samples = 4
+			s.Seed = 7
+			return s
+		}},
+		{"forked", func() *Spec {
+			s := smallSpec()
+			s.ForkPoint = &simsvc.ForkPoint{Cycles: 2000}
+			return s
+		}},
+		{"halving", func() *Spec {
+			s := smallSpec()
+			s.Strategy = StrategyHalving
+			return s
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			var js, csv []byte
+			for i, workers := range []int{1, 8} {
+				svc := newTestService(t, workers)
+				rep := runCampaign(t, svc, v.spec())
+				j, c := exports(t, rep)
+				if i == 0 {
+					js, csv = j, c
+					continue
+				}
+				if !bytes.Equal(js, j) {
+					t.Errorf("JSON export differs between 1 and %d workers:\n%s\n---\n%s", workers, js, j)
+				}
+				if !bytes.Equal(csv, c) {
+					t.Errorf("CSV export differs between 1 and %d workers:\n%s\n---\n%s", workers, csv, c)
+				}
+			}
+		})
+	}
+}
+
+// Adaptive successive halving must land on the exhaustive grid's best point
+// while submitting at most half as many simulations — the acceptance
+// criterion behind BenchmarkCampaignSweep's wall-clock claim.
+func TestHalvingMatchesGridBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the 8x8 benchmark campaign")
+	}
+	svc := newTestService(t, 8)
+	grid := runCampaign(t, svc, benchSpec(StrategyGrid))
+	halving := runCampaign(t, svc, benchSpec(StrategyHalving))
+
+	if grid.Submitted != grid.TotalPoints {
+		t.Fatalf("grid submitted %d of %d points", grid.Submitted, grid.TotalPoints)
+	}
+	if halving.BestIndex != grid.BestIndex {
+		t.Errorf("halving best %d != grid best %d", halving.BestIndex, grid.BestIndex)
+	}
+	if 2*halving.Submitted > grid.Submitted {
+		t.Errorf("halving submitted %d points, more than half of the grid's %d",
+			halving.Submitted, grid.Submitted)
+	}
+	if halving.Rounds < 2 {
+		t.Errorf("halving took %d rounds; expected an adaptive multi-round schedule", halving.Rounds)
+	}
+	// The best point must be interior on the scale axis — otherwise this
+	// campaign degenerates into a boundary walk and stops exercising the
+	// refinement loop.
+	best := -1
+	for _, p := range grid.Points {
+		if p.Index == grid.BestIndex {
+			best = p.Index
+		}
+	}
+	if best < 0 {
+		t.Fatalf("grid best index %d not among its points", grid.BestIndex)
+	}
+	if row := best / 8; row == 0 || row == 7 {
+		t.Errorf("grid best sits on the scale boundary (row %d); pick axis values with an interior optimum", row)
+	}
+}
+
+// The Pareto frontier must be non-empty, sorted, contain the best point's
+// rivals consistently, and appear in both export formats.
+func TestParetoFrontierInExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small campaign")
+	}
+	svc := newTestService(t, 4)
+	rep := runCampaign(t, svc, smallSpec())
+	if len(rep.Pareto) == 0 {
+		t.Fatalf("empty Pareto frontier")
+	}
+	for i := 1; i < len(rep.Pareto); i++ {
+		if rep.Pareto[i] <= rep.Pareto[i-1] {
+			t.Fatalf("Pareto frontier not strictly ascending: %v", rep.Pareto)
+		}
+	}
+	js, csv := exports(t, rep)
+	var decoded Report
+	if err := json.Unmarshal(js, &decoded); err != nil {
+		t.Fatalf("JSON export does not round-trip: %v", err)
+	}
+	if fmt.Sprint(decoded.Pareto) != fmt.Sprint(rep.Pareto) {
+		t.Errorf("JSON round-trip changed the frontier: %v vs %v", decoded.Pareto, rep.Pareto)
+	}
+	if !bytes.Contains(csv, []byte(",best,pareto\n")) {
+		t.Errorf("CSV export is missing the pareto column:\n%s", csv)
+	}
+	var paretoRows int
+	for _, line := range bytes.Split(csv, []byte("\n")) {
+		if bytes.HasSuffix(line, []byte(",1")) {
+			paretoRows++
+		}
+	}
+	if paretoRows != len(rep.Pareto) {
+		t.Errorf("CSV flags %d Pareto rows, report lists %d", paretoRows, len(rep.Pareto))
+	}
+}
+
+// Dominance and frontier extraction on a synthetic point set with known
+// structure.
+func TestParetoFrontierSynthetic(t *testing.T) {
+	mk := func(idx int, energy, progress, area float64) PointReport {
+		return PointReport{Index: idx, Metrics: PointMetrics{EnergyJ: energy, Progress: progress, AreaMM2: area}}
+	}
+	points := []PointReport{
+		mk(0, 1.0, 100, 0.0), // frontier: cheapest energy+area
+		mk(1, 2.0, 200, 0.0), // frontier: more progress for more energy
+		mk(2, 2.0, 150, 0.0), // dominated by 1 (same energy, less progress)
+		mk(3, 3.0, 200, 0.1), // dominated by 1 (same progress, worse energy+area)
+		mk(4, 0.5, 250, 0.2), // frontier: best energy and progress, pays area
+	}
+	got := paretoFrontier(points)
+	want := []int{0, 1, 4}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	if dominates(points[1].Metrics, points[1].Metrics) {
+		t.Errorf("a point must not dominate itself")
+	}
+}
+
+// Star mode evaluates each axis against the base independently; indices walk
+// axis 0's values first.
+func TestStarMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small campaign")
+	}
+	spec := &Spec{
+		Name: "star",
+		Mode: ModeStar,
+		Base: simsvc.RunSpec{App: "jpeg", Scale: 0.02, Codec: "BDI", ACC: true, Kagura: true},
+		Axes: []Axis{
+			{Param: "policy", Values: rawVals("AIMD", "MIAD")},
+			{Param: "trigger", Values: rawVals("mem", "voltage")},
+		},
+	}
+	svc := newTestService(t, 4)
+	rep := runCampaign(t, svc, spec)
+	if rep.TotalPoints != 4 || len(rep.Points) != 4 {
+		t.Fatalf("star campaign evaluated %d/%d points, want 4/4", len(rep.Points), rep.TotalPoints)
+	}
+	wantParams := []ParamValue{
+		{Param: "policy", Value: json.RawMessage(`"AIMD"`)},
+		{Param: "policy", Value: json.RawMessage(`"MIAD"`)},
+		{Param: "trigger", Value: json.RawMessage(`"mem"`)},
+		{Param: "trigger", Value: json.RawMessage(`"voltage"`)},
+	}
+	for i, p := range rep.Points {
+		if len(p.Params) != 1 {
+			t.Fatalf("star point %d carries %d params, want 1", i, len(p.Params))
+		}
+		if p.Params[0].Param != wantParams[i].Param || !bytes.Equal(p.Params[0].Value, wantParams[i].Value) {
+			t.Errorf("point %d params = %+v, want %+v", i, p.Params[0], wantParams[i])
+		}
+	}
+}
+
+// The random strategy is a pure function of (spec, seed): same seed, same
+// sample; and the sample size lands in the report.
+func TestRandomSamplingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small campaign")
+	}
+	spec := func() *Spec {
+		s := smallSpec()
+		s.Baseline = nil
+		s.Strategy = StrategyRandom
+		s.Samples = 3
+		s.Seed = 42
+		return s
+	}
+	svc := newTestService(t, 4)
+	first := runCampaign(t, svc, spec())
+	second := runCampaign(t, svc, spec())
+	if len(first.Points) != 3 {
+		t.Fatalf("random campaign evaluated %d points, want 3", len(first.Points))
+	}
+	a, _ := exports(t, first)
+	b, _ := exports(t, second)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+// Baseline comparisons ride every point when the spec names a baseline.
+func TestBaselineComparisons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small campaign")
+	}
+	svc := newTestService(t, 4)
+	rep := runCampaign(t, svc, smallSpec())
+	if rep.Baseline == nil {
+		t.Fatalf("report is missing the baseline metrics")
+	}
+	for _, p := range rep.Points {
+		if p.Metrics.SpeedupVsBaseline == nil || p.Metrics.EnergyReductionVsBaseline == nil {
+			t.Fatalf("point %d is missing baseline comparisons", p.Index)
+		}
+	}
+}

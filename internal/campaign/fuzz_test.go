@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCampaignSpec hammers the decode path: arbitrary bytes must either be
+// rejected or yield a spec whose bounds hold, whose validation is idempotent,
+// and which survives an encode/decode round trip. The decoder reads at most
+// MaxSpecBytes+1 bytes and bounds every dimension before materializing the
+// point space, so no input may force a large allocation.
+func FuzzCampaignSpec(f *testing.F) {
+	f.Add(validSpecJSON)
+	f.Add(`{"base":{"app":"jpeg","kagura":true,"acc":true,"codec":"BDI"},
+		"mode":"star","strategy":"grid",
+		"baseline":{"app":"jpeg"},
+		"axes":[{"param":"policy","values":["AIMD","MIAD"]},
+		        {"param":"increaseStep","values":[0.05,0.1]}]}`)
+	f.Add(`{"base":{"app":"jpeg"},"strategy":"random","samples":2,"seed":9,
+		"axes":[{"param":"scale","values":[0.02,0.04,0.08]}]}`)
+	f.Add(`{"base":{"app":"jpeg"},"strategy":"halving",
+		"objective":{"metric":"progress","goal":"max"},
+		"forkPoint":{"cycles":1000},
+		"axes":[{"param":"decayInterval","values":[0,500,1000,2000]}]}`)
+	f.Add(`{"axes":[{"param":"scale","values":["1e309"]}]}`)
+	f.Add(`{"base":{"app":"jpeg"},"axes":[{"param":"scale","values":[0.02]}],"x":1}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(strings.Repeat(`{"axes":[`, 100))
+
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := DecodeSpec(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if len(spec.Axes) == 0 || len(spec.Axes) > MaxAxes {
+			t.Fatalf("accepted spec with %d axes", len(spec.Axes))
+		}
+		for _, ax := range spec.Axes {
+			if len(ax.Values) == 0 || len(ax.Values) > MaxAxisValues {
+				t.Fatalf("accepted axis %q with %d values", ax.Param, len(ax.Values))
+			}
+		}
+		space := newSpace(spec)
+		total := space.total()
+		if total < 1 || total > MaxPoints {
+			t.Fatalf("accepted spec inducing %d points", total)
+		}
+		// Every accepted point must materialize into a normalizable RunSpec —
+		// validation probed each axis value individually, and combinations
+		// only overwrite independent fields.
+		rs, err := space.runSpec(total - 1)
+		if err != nil {
+			t.Fatalf("accepted spec whose last point fails to materialize: %v", err)
+		}
+		_ = rs
+
+		// Idempotence: a validated spec revalidates without change of meaning.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("revalidation failed: %v", err)
+		}
+		// Round trip: the validated spec re-encodes into a spec the decoder
+		// accepts again with an identical encoding.
+		first, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encoding accepted spec: %v", err)
+		}
+		again, err := DecodeSpec(strings.NewReader(string(first)))
+		if err != nil {
+			t.Fatalf("re-decoding %s: %v", first, err)
+		}
+		second, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped spec: %v", err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("round trip unstable:\n%s\n---\n%s", first, second)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Error codes for campaign endpoints, beside the simsvc taxonomy the base
+// handler uses.
+const (
+	codeBadSpec         = "invalid_spec"
+	codeBadRequest      = "bad_request"
+	codeUnknownCampaign = "unknown_campaign"
+	codeNotFinished     = "campaign_running"
+	codeInternal        = "internal"
+)
+
+// NewHandler layers the campaign API over the service handler:
+//
+//	POST /v1/campaigns        start a campaign from a Spec body; 202 + Status.
+//	GET  /v1/campaigns        list campaigns, submission order.
+//	GET  /v1/campaigns/{id}   one campaign's live status.
+//	                          ?format=json|csv exports the finished report.
+//	GET  /metrics             base exposition + kagura_campaign_* families.
+//
+// Everything else falls through to base (the simsvc handler), so the
+// combined mux serves both APIs on one listener.
+func NewHandler(m *Manager, base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(m.svc.Metrics().Prometheus()))
+		w.Write([]byte(m.Metrics().Prometheus()))
+	})
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadSpec, err)
+			return
+		}
+		id, err := m.Start(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadSpec, err)
+			return
+		}
+		st, _ := m.Status(id)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"campaigns": m.List()})
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			st, err := m.Status(id)
+			if err != nil {
+				writeError(w, http.StatusNotFound, codeUnknownCampaign, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		if format != "json" && format != "csv" {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("campaign: unknown export format %q (json or csv)", format))
+			return
+		}
+		rep, err := m.Report(id)
+		if err != nil {
+			status, code := http.StatusConflict, codeNotFinished
+			if strings.Contains(err.Error(), "unknown campaign") {
+				status, code = http.StatusNotFound, codeUnknownCampaign
+			}
+			writeError(w, status, code, err)
+			return
+		}
+		var blob []byte
+		if format == "csv" {
+			blob, err = rep.ExportCSV()
+		} else {
+			blob, err = rep.ExportJSON()
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+		m.ExportCounted(format)
+		if format == "csv" {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		}
+		w.Write(blob)
+	})
+
+	return mux
+}
+
+// writeJSON matches the simsvc handler's response formatting (two-space
+// indent, trailing newline from Encode).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kagura/internal/simsvc"
+)
+
+func newTestHandler(t *testing.T) (*Manager, http.Handler) {
+	t.Helper()
+	svc := simsvc.New(simsvc.Options{Workers: 4, QueueDepth: 256})
+	t.Cleanup(svc.Close)
+	m := NewManager(svc)
+	t.Cleanup(m.Close)
+	return m, NewHandler(m, simsvc.NewHandler(svc))
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s %s returned unparseable JSON: %v\n%s", method, path, err, rec.Body)
+		}
+	}
+	return rec, decoded
+}
+
+func TestCampaignHTTPLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign through the HTTP API")
+	}
+	m, h := newTestHandler(t)
+
+	rec, body := doJSON(t, h, "POST", "/v1/campaigns", `{
+		"name": "http",
+		"base": {"app": "jpeg", "codec": "BDI", "acc": true},
+		"axes": [{"param": "scale", "values": [0.02, 0.04]}]
+	}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns = %d, want 202\n%s", rec.Code, rec.Body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no campaign id in %v", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Wait(ctx, id); err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+
+	rec, body = doJSON(t, h, "GET", "/v1/campaigns/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET status = %d\n%s", rec.Code, rec.Body)
+	}
+	if body["state"] != StateDone {
+		t.Fatalf("campaign state = %v, want done", body["state"])
+	}
+	if body["report"] == nil {
+		t.Fatalf("finished status is missing the inline report")
+	}
+	if dispatched, ok := body["dispatched"].([]any); !ok || len(dispatched) != 2 {
+		t.Fatalf("dispatched = %v, want 2 point jobs", body["dispatched"])
+	}
+
+	rec, body = doJSON(t, h, "GET", "/v1/campaigns", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET list = %d", rec.Code)
+	}
+	if list, ok := body["campaigns"].([]any); !ok || len(list) != 1 {
+		t.Fatalf("campaign list = %v, want one entry", body["campaigns"])
+	}
+
+	// Exports: JSON must byte-match the report's own exporter; CSV carries the
+	// header. Both tick the exports metric.
+	rep, err := m.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := rep.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = doJSON(t, h, "GET", "/v1/campaigns/"+id+"?format=json", "")
+	if rec.Code != http.StatusOK || rec.Body.String() != string(wantJSON) {
+		t.Fatalf("JSON export = %d:\n%s\nwant:\n%s", rec.Code, rec.Body, wantJSON)
+	}
+	rec, _ = doJSON(t, h, "GET", "/v1/campaigns/"+id+"?format=csv", "")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "index,round,scale,") {
+		t.Fatalf("CSV export = %d:\n%s", rec.Code, rec.Body)
+	}
+	snap := m.Metrics()
+	if snap.ExportsJSON != 1 || snap.ExportsCSV != 1 {
+		t.Fatalf("export counters = %d json / %d csv, want 1/1", snap.ExportsJSON, snap.ExportsCSV)
+	}
+
+	// The combined /metrics exposition serves both the service families and
+	// the campaign families in one payload.
+	rec, _ = doJSON(t, h, "GET", "/metrics", "")
+	text := rec.Body.String()
+	for _, want := range []string{"kagura_jobs_total", "kagura_campaigns_total", "kagura_campaign_points_submitted_total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+
+	// Non-campaign routes fall through to the simsvc handler.
+	rec, _ = doJSON(t, h, "GET", "/v1/jobs", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("fallthrough GET /v1/jobs = %d, want 200", rec.Code)
+	}
+}
+
+func TestCampaignHTTPErrors(t *testing.T) {
+	_, h := newTestHandler(t)
+
+	rec, body := doJSON(t, h, "POST", "/v1/campaigns", `{"base":{"app":"jpeg"},"axes":[]}`)
+	if rec.Code != http.StatusBadRequest || body["code"] != codeBadSpec {
+		t.Errorf("invalid spec = %d %v, want 400 %s", rec.Code, body["code"], codeBadSpec)
+	}
+
+	rec, body = doJSON(t, h, "GET", "/v1/campaigns/c999", "")
+	if rec.Code != http.StatusNotFound || body["code"] != codeUnknownCampaign {
+		t.Errorf("unknown campaign status = %d %v, want 404 %s", rec.Code, body["code"], codeUnknownCampaign)
+	}
+
+	rec, body = doJSON(t, h, "GET", "/v1/campaigns/c999?format=json", "")
+	if rec.Code != http.StatusNotFound || body["code"] != codeUnknownCampaign {
+		t.Errorf("unknown campaign export = %d %v, want 404 %s", rec.Code, body["code"], codeUnknownCampaign)
+	}
+
+	rec, body = doJSON(t, h, "GET", "/v1/campaigns/c999?format=xml", "")
+	if rec.Code != http.StatusBadRequest || body["code"] != codeBadRequest {
+		t.Errorf("bad format = %d %v, want 400 %s", rec.Code, body["code"], codeBadRequest)
+	}
+}

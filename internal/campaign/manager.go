@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"kagura/internal/simsvc"
+)
+
+// Manager owns the asynchronously-running campaigns behind the HTTP API:
+// Start launches a campaign goroutine, Status/List observe live progress,
+// and Close cancels everything and waits. Campaign IDs are sequential
+// ("c1", "c2", …) in submission order.
+type Manager struct {
+	svc *simsvc.Service
+	met *Metrics
+
+	mu        sync.Mutex
+	seq       int
+	campaigns map[string]*campaignState
+	order     []string
+	closed    bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// Campaign states.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// campaignState is one tracked campaign; mu guards everything mutable.
+type campaignState struct {
+	id   string
+	spec *Spec
+
+	mu     sync.Mutex
+	state  string
+	report *Report
+	err    error
+	jobs   []PointJob
+	done   chan struct{}
+}
+
+// PointJob ties one dispatched sweep point to its simsvc job, whose
+// per-phase obs trace is the point's live progress view (GET /v1/jobs/{id}).
+// The baseline run, when the spec names one, appears as round 0, index -1.
+type PointJob struct {
+	Index int    `json:"index"`
+	Round int    `json:"round"`
+	JobID string `json:"jobId"`
+}
+
+// Status is a campaign's wire-level snapshot.
+type Status struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Strategy    string `json:"strategy"`
+	Mode        string `json:"mode"`
+	State       string `json:"state"`
+	TotalPoints int    `json:"totalPoints"`
+	// Dispatched lists each submitted point's simsvc job, in dispatch order.
+	Dispatched []PointJob `json:"dispatched,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	// Report is inlined once the campaign completes.
+	Report *Report `json:"report,omitempty"`
+}
+
+// NewManager creates a manager executing campaigns on svc.
+func NewManager(svc *simsvc.Service) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		svc:       svc,
+		met:       &Metrics{},
+		campaigns: make(map[string]*campaignState),
+		baseCtx:   ctx,
+		cancel:    cancel,
+	}
+}
+
+// Metrics returns the campaign counters snapshot.
+func (m *Manager) Metrics() MetricsSnapshot { return m.met.Snapshot() }
+
+// ExportCounted books one served export in the campaign metrics.
+func (m *Manager) ExportCounted(format string) { m.met.ExportCounted(format) }
+
+// Start validates the spec and launches its campaign. The returned ID is
+// immediately queryable via Status.
+func (m *Manager) Start(spec *Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", fmt.Errorf("campaign: manager closed")
+	}
+	m.seq++
+	cs := &campaignState{
+		id:    fmt.Sprintf("c%d", m.seq),
+		spec:  spec,
+		state: StateRunning,
+		done:  make(chan struct{}),
+	}
+	m.campaigns[cs.id] = cs
+	m.order = append(m.order, cs.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		runner := &Runner{
+			Svc: m.svc,
+			Met: m.met,
+			Progress: func(round, index int, jobID string) {
+				cs.mu.Lock()
+				cs.jobs = append(cs.jobs, PointJob{Index: index, Round: round, JobID: jobID})
+				cs.mu.Unlock()
+			},
+		}
+		report, err := runner.Run(m.baseCtx, spec)
+		cs.mu.Lock()
+		if err != nil {
+			cs.state = StateFailed
+			cs.err = err
+		} else {
+			cs.state = StateDone
+			cs.report = report
+		}
+		cs.mu.Unlock()
+		close(cs.done)
+	}()
+	return cs.id, nil
+}
+
+// Wait blocks until the campaign reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) error {
+	m.mu.Lock()
+	cs, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-cs.done:
+		return nil
+	}
+}
+
+// Status returns one campaign's snapshot.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	cs, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	return cs.status(), nil
+}
+
+// Report returns a finished campaign's report.
+func (m *Manager) Report(id string) (*Report, error) {
+	m.mu.Lock()
+	cs, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	switch cs.state {
+	case StateDone:
+		return cs.report, nil
+	case StateFailed:
+		return nil, fmt.Errorf("campaign: %s failed: %w", id, cs.err)
+	default:
+		return nil, fmt.Errorf("campaign: %s still running", id)
+	}
+}
+
+// List returns every campaign's snapshot, in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	states := make([]*campaignState, len(ids))
+	for i, id := range ids {
+		states[i] = m.campaigns[id]
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(states))
+	for i, cs := range states {
+		out[i] = cs.status()
+	}
+	return out
+}
+
+func (cs *campaignState) status() Status {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	st := Status{
+		ID:          cs.id,
+		Name:        cs.spec.Name,
+		Strategy:    cs.spec.Strategy,
+		Mode:        cs.spec.Mode,
+		State:       cs.state,
+		TotalPoints: newSpace(cs.spec).total(),
+		Dispatched:  append([]PointJob(nil), cs.jobs...),
+		Report:      cs.report,
+	}
+	if cs.err != nil {
+		st.Error = cs.err.Error()
+	}
+	return st
+}
+
+// Close cancels running campaigns and waits for their goroutines. The
+// underlying service is not closed — the manager is a tenant, not the owner.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}

@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Metrics holds the campaign-engine counters behind the kagura_campaign_*
+// exposition families (the obs names catalog lists them; the metricstable
+// analyzer ties every literal below to it). Every method is nil-safe so the
+// Runner works without metrics wired.
+type Metrics struct {
+	mu              sync.Mutex
+	completed       int64
+	failed          int64
+	running         int64
+	points          int64
+	rounds          int64
+	dispatchRetries int64
+	exportsJSON     int64
+	exportsCSV      int64
+}
+
+func (m *Metrics) campaignStarted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) campaignCompleted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.running--
+	m.completed++
+	m.mu.Unlock()
+}
+
+// campaignFailed books a terminal failure. Validation rejections count here
+// too — they never incremented running, so the gauge is only decremented for
+// campaigns that started.
+func (m *Metrics) campaignFailed() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.running > 0 {
+		m.running--
+	}
+	m.failed++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) pointsSubmitted(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.points += int64(n)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) roundFinished() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.rounds++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchRetried() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.dispatchRetries++
+	m.mu.Unlock()
+}
+
+// ExportCounted books one successful report export ("json" or "csv").
+func (m *Metrics) ExportCounted(format string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if format == "csv" {
+		m.exportsCSV++
+	} else {
+		m.exportsJSON++
+	}
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time view of the campaign counters.
+type MetricsSnapshot struct {
+	Completed       int64 `json:"completed"`
+	Failed          int64 `json:"failed"`
+	Running         int64 `json:"running"`
+	PointsSubmitted int64 `json:"pointsSubmitted"`
+	Rounds          int64 `json:"rounds"`
+	DispatchRetries int64 `json:"dispatchRetries"`
+	ExportsJSON     int64 `json:"exportsJSON"`
+	ExportsCSV      int64 `json:"exportsCSV"`
+}
+
+// Snapshot returns the current counters (zero values on a nil receiver).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Running:         m.running,
+		PointsSubmitted: m.points,
+		Rounds:          m.rounds,
+		DispatchRetries: m.dispatchRetries,
+		ExportsJSON:     m.exportsJSON,
+		ExportsCSV:      m.exportsCSV,
+	}
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format.
+// Byte-stable like the simsvc exposition: fixed family order, every label
+// value enumerated, never a map range (DESIGN.md §11).
+func (s MetricsSnapshot) Prometheus() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	w("# HELP kagura_campaigns_total Campaigns by terminal outcome.\n")
+	w("# TYPE kagura_campaigns_total counter\n")
+	w("kagura_campaigns_total{state=\"completed\"} %d\n", s.Completed)
+	w("kagura_campaigns_total{state=\"failed\"} %d\n", s.Failed)
+	w("# HELP kagura_campaign_running Campaigns currently executing.\n")
+	w("# TYPE kagura_campaign_running gauge\n")
+	w("kagura_campaign_running %d\n", s.Running)
+	w("# HELP kagura_campaign_points_submitted_total Sweep points dispatched to the simulation service.\n")
+	w("# TYPE kagura_campaign_points_submitted_total counter\n")
+	w("kagura_campaign_points_submitted_total %d\n", s.PointsSubmitted)
+	w("# HELP kagura_campaign_rounds_total Strategy waves executed.\n")
+	w("# TYPE kagura_campaign_rounds_total counter\n")
+	w("kagura_campaign_rounds_total %d\n", s.Rounds)
+	w("# HELP kagura_campaign_dispatch_retries_total Batch dispatches retried after transient failures.\n")
+	w("# TYPE kagura_campaign_dispatch_retries_total counter\n")
+	w("kagura_campaign_dispatch_retries_total %d\n", s.DispatchRetries)
+	w("# HELP kagura_campaign_exports_total Report exports served, by format.\n")
+	w("# TYPE kagura_campaign_exports_total counter\n")
+	w("kagura_campaign_exports_total{format=\"json\"} %d\n", s.ExportsJSON)
+	w("kagura_campaign_exports_total{format=\"csv\"} %d\n", s.ExportsCSV)
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"kagura/internal/simsvc"
+)
+
+// A minimal valid spec body for the decode tests.
+const validSpecJSON = `{
+  "name": "decode",
+  "base": {"app": "jpeg"},
+  "axes": [{"param": "scale", "values": [0.02, 0.04]}]
+}`
+
+func TestDecodeSpecDefaults(t *testing.T) {
+	spec, err := DecodeSpec(strings.NewReader(validSpecJSON))
+	if err != nil {
+		t.Fatalf("DecodeSpec: %v", err)
+	}
+	if spec.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", spec.Seed)
+	}
+	if spec.Mode != ModeCross {
+		t.Errorf("default mode = %q, want cross", spec.Mode)
+	}
+	if spec.Strategy != StrategyGrid {
+		t.Errorf("default strategy = %q, want grid", spec.Strategy)
+	}
+	if spec.BatchSize != 64 {
+		t.Errorf("default batch size = %d, want 64", spec.BatchSize)
+	}
+	if spec.Objective.Metric != MetricEnergy || spec.Objective.Goal != GoalMin {
+		t.Errorf("default objective = %+v, want energy/min", spec.Objective)
+	}
+	// Validate is idempotent: revalidating the returned spec changes nothing.
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("revalidating a decoded spec: %v", err)
+	}
+}
+
+func TestDecodeSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown field", `{"base":{"app":"jpeg"},"axes":[{"param":"scale","values":[1]}],"bogus":1}`,
+			"unknown field"},
+		{"trailing data", validSpecJSON + `{"again": true}`, "trailing data"},
+		{"not json", `scale: [0.02]`, "decoding spec"},
+		{"no axes", `{"base":{"app":"jpeg"},"axes":[]}`, "at least one axis"},
+		{"unknown param", `{"base":{"app":"jpeg"},"axes":[{"param":"voltage","values":[1]}]}`,
+			"unknown parameter"},
+		{"duplicate axis", `{"base":{"app":"jpeg"},"axes":[
+			{"param":"scale","values":[1]},{"param":"scale","values":[2]}]}`,
+			"duplicate axis"},
+		{"empty axis", `{"base":{"app":"jpeg"},"axes":[{"param":"scale","values":[]}]}`,
+			"has no values"},
+		{"wrong value type", `{"base":{"app":"jpeg"},"axes":[{"param":"scale","values":["wide"]}]}`,
+			"axis \"scale\" value 0"},
+		{"bad mode", `{"base":{"app":"jpeg"},"mode":"ring","axes":[{"param":"scale","values":[1]}]}`,
+			"unknown mode"},
+		{"bad strategy", `{"base":{"app":"jpeg"},"strategy":"anneal","axes":[{"param":"scale","values":[1]}]}`,
+			"unknown strategy"},
+		{"halving needs cross", `{"base":{"app":"jpeg"},"mode":"star","strategy":"halving",
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"halving requires cross"},
+		{"random needs samples", `{"base":{"app":"jpeg"},"strategy":"random",
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"samples >= 1"},
+		{"samples without random", `{"base":{"app":"jpeg"},"samples":3,
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"only applies to the random strategy"},
+		{"bad objective metric", `{"base":{"app":"jpeg"},"objective":{"metric":"latency"},
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"unknown objective metric"},
+		{"bad objective goal", `{"base":{"app":"jpeg"},"objective":{"goal":"best"},
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"unknown objective goal"},
+		{"negative fork cycles", `{"base":{"app":"jpeg"},"forkPoint":{"cycles":-5},
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"negative forkPoint cycles"},
+		{"batch size out of range", `{"base":{"app":"jpeg"},"batchSize":-1,
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"batch size"},
+		{"base fails normalize", `{"base":{"app":"jpeg","scale":-1},
+			"axes":[{"param":"decayInterval","values":[0]}]}`,
+			"campaign: base"},
+		{"baseline fails normalize", `{"base":{"app":"jpeg"},
+			"baseline":{"app":"jpeg","scale":-1},
+			"axes":[{"param":"scale","values":[1]}]}`,
+			"campaign: baseline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The decoder's allocation bounds: axis count, values per axis, induced point
+// count, per-value bytes, and total spec bytes.
+func TestDecodeSpecBounds(t *testing.T) {
+	manyValues := func(n int) string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = "1000"
+		}
+		return "[" + strings.Join(vals, ",") + "]"
+	}
+
+	t.Run("too many axes", func(t *testing.T) {
+		axes := []string{
+			`{"param":"scale","values":[1]}`, `{"param":"decayInterval","values":[0]}`,
+			`{"param":"seed","values":[1]}`, `{"param":"trace","values":["RFHome"]}`,
+			`{"param":"prefetch","values":[true]}`, `{"param":"acc","values":[true]}`,
+			`{"param":"app","values":["jpeg"]}`,
+		}
+		body := `{"base":{"app":"jpeg"},"axes":[` + strings.Join(axes, ",") + `]}`
+		if _, err := DecodeSpec(strings.NewReader(body)); err == nil ||
+			!strings.Contains(err.Error(), "axes exceed") {
+			t.Fatalf("err = %v, want axes limit", err)
+		}
+	})
+
+	t.Run("too many values", func(t *testing.T) {
+		body := `{"base":{"app":"jpeg"},"axes":[{"param":"decayInterval","values":` +
+			manyValues(MaxAxisValues+1) + `}]}`
+		if _, err := DecodeSpec(strings.NewReader(body)); err == nil ||
+			!strings.Contains(err.Error(), "values, limit") {
+			t.Fatalf("err = %v, want per-axis value limit", err)
+		}
+	})
+
+	t.Run("too many induced points", func(t *testing.T) {
+		// 64 × 64 × 2 = 8192 > MaxPoints while every axis is in bounds.
+		body := `{"base":{"app":"jpeg"},"axes":[
+			{"param":"decayInterval","values":` + manyValues(64) + `},
+			{"param":"seed","values":` + manyValues(64) + `},
+			{"param":"acc","values":[true,false]}]}`
+		if _, err := DecodeSpec(strings.NewReader(body)); err == nil ||
+			!strings.Contains(err.Error(), "induced points exceed") {
+			t.Fatalf("err = %v, want induced point limit", err)
+		}
+	})
+
+	t.Run("oversized value", func(t *testing.T) {
+		big := `"` + strings.Repeat("x", MaxValueBytes) + `"`
+		body := `{"base":{"app":"jpeg"},"axes":[{"param":"trace","values":[` + big + `]}]}`
+		if _, err := DecodeSpec(strings.NewReader(body)); err == nil ||
+			!strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("err = %v, want value size limit", err)
+		}
+	})
+
+	t.Run("oversized spec", func(t *testing.T) {
+		pad := strings.Repeat(" ", MaxSpecBytes)
+		if _, err := DecodeSpec(strings.NewReader(validSpecJSON + pad)); err == nil ||
+			!strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("err = %v, want spec size limit", err)
+		}
+	})
+}
+
+// Validate pins a nil fork base to the campaign base so chunking cannot shift
+// what each batch forks from.
+func TestValidatePinsForkBase(t *testing.T) {
+	spec := smallSpec()
+	spec.ForkPoint = &simsvc.ForkPoint{Cycles: 1000}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.ForkPoint.Base == nil {
+		t.Fatalf("fork base not pinned")
+	}
+	if spec.ForkPoint.Base.App != spec.Base.App {
+		t.Fatalf("fork base pinned to %+v, want the campaign base", spec.ForkPoint.Base)
+	}
+}
+
+// Random samples clamp to the space instead of erroring.
+func TestValidateClampsSamples(t *testing.T) {
+	spec := smallSpec()
+	spec.Strategy = StrategyRandom
+	spec.Samples = 1000
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Samples != 6 {
+		t.Fatalf("samples = %d, want clamped to the 6-point space", spec.Samples)
+	}
+}
+
+func TestParamNamesSortedAndComplete(t *testing.T) {
+	names := ParamNames()
+	if len(names) != len(paramTable) {
+		t.Fatalf("ParamNames lists %d of %d params", len(names), len(paramTable))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("ParamNames not sorted: %v", names)
+		}
+	}
+	for _, name := range names {
+		if _, ok := paramTable[name]; !ok {
+			t.Fatalf("ParamNames lists unknown param %q", name)
+		}
+	}
+}

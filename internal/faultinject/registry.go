@@ -11,6 +11,9 @@ package faultinject
 // package is flagged as stale. Keep the slice sorted — the analyzer checks
 // that too, so additions merge without churn.
 var Registered = []string{
+	"campaign.decode",
+	"campaign.dispatch",
+	"campaign.export",
 	"ckpt.decode",
 	"ckpt.encode",
 	"ckpt.write",

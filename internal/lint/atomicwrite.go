@@ -30,10 +30,12 @@ var AtomicWrite = &Analyzer{
 
 // PersistingPackages lists the packages whose file writes are durable state:
 // the checkpoint codec, the on-disk store, the service that publishes into
-// both, and the CLIs that write checkpoints. cmd/kagura-sim, tracegen, and
-// kagura-bench write user-facing report files, not recovery state, and are
-// deliberately absent.
+// both, and the CLIs that write checkpoints or campaign reports (a torn
+// report would poison byte-for-byte determinism diffs). cmd/kagura-sim,
+// tracegen, and kagura-bench write user-facing report files, not recovery
+// state, and are deliberately absent.
 var PersistingPackages = []string{
+	"kagura/cmd/kagura-campaign",
 	"kagura/cmd/kagura-ckpt",
 	"kagura/cmd/kagura-serve",
 	"kagura/internal/ckpt",

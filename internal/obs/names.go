@@ -1,5 +1,7 @@
 package obs
 
+import "strings"
+
 // The metric-name catalog: every kagura_* family the service exposes on
 // /metrics, as named constants. Dashboards, alerts, and recording rules key
 // off these strings, so a rename must be a reviewed diff here — the
@@ -56,6 +58,16 @@ const (
 	MetricQueueDepthObserved = "kagura_queue_depth_observed"
 	MetricQueueDepthSampled  = "kagura_queue_depth_sampled"
 	MetricResultBytes        = "kagura_result_bytes"
+
+	// Campaign engine (internal/campaign). The kagura_campaign prefix is the
+	// family split tests key on: these render from the campaign exposition,
+	// everything above from the simsvc exposition.
+	MetricCampaignsTotal          = "kagura_campaigns_total"
+	MetricCampaignRunning         = "kagura_campaign_running"
+	MetricCampaignPointsSubmitted = "kagura_campaign_points_submitted_total"
+	MetricCampaignRoundsTotal     = "kagura_campaign_rounds_total"
+	MetricCampaignDispatchRetries = "kagura_campaign_dispatch_retries_total"
+	MetricCampaignExportsTotal    = "kagura_campaign_exports_total"
 )
 
 // KnownMetricNames returns every catalogued family name, in declaration
@@ -95,5 +107,20 @@ func KnownMetricNames() []string {
 		MetricQueueDepthObserved,
 		MetricQueueDepthSampled,
 		MetricResultBytes,
+		MetricCampaignsTotal,
+		MetricCampaignRunning,
+		MetricCampaignPointsSubmitted,
+		MetricCampaignRoundsTotal,
+		MetricCampaignDispatchRetries,
+		MetricCampaignExportsTotal,
 	}
+}
+
+// IsCampaignMetric reports whether a catalogued family renders from the
+// campaign exposition rather than the simsvc exposition. The prefix is
+// derived from a catalog entry (never spelled as a literal) and matches both
+// kagura_campaign_* and kagura_campaigns_total.
+func IsCampaignMetric(name string) bool {
+	prefix := strings.TrimSuffix(MetricCampaignRunning, "_running")
+	return strings.HasPrefix(name, prefix)
 }

@@ -44,6 +44,12 @@ type RunSpec struct {
 	Policy string `json:"policy,omitempty"`
 	// Trigger is the Kagura trigger, "mem" or "voltage" (default "mem").
 	Trigger string `json:"trigger,omitempty"`
+	// IncreaseStep overrides the controller's additive increase fraction
+	// when > 0 (default 0.10; §VIII-H5 sweeps 0.05–0.20). Requires Kagura.
+	IncreaseStep float64 `json:"increaseStep,omitempty"`
+	// CounterBits overrides the controller's confidence-counter width when
+	// > 0 (default 2; Table IV sweeps 1–3). Requires Kagura.
+	CounterBits int `json:"counterBits,omitempty"`
 	// Design selects the crash-consistency architecture (default
 	// "NVSRAMCache").
 	Design string `json:"design,omitempty"`
@@ -139,9 +145,21 @@ func (sp RunSpec) Normalize() (RunSpec, error) {
 		if err != nil {
 			return out, err
 		}
+		if sp.IncreaseStep < 0 || sp.IncreaseStep >= 1 {
+			return out, fmt.Errorf("simsvc: increase step %g outside [0,1)", sp.IncreaseStep)
+		}
+		if sp.CounterBits < 0 || sp.CounterBits > 8 {
+			return out, fmt.Errorf("simsvc: counter bits %d outside 0..8", sp.CounterBits)
+		}
 	} else {
 		if sp.Policy != "" || sp.Trigger != "" {
 			return out, fmt.Errorf("simsvc: policy/trigger require kagura")
+		}
+		if sp.IncreaseStep > 0 || sp.CounterBits > 0 {
+			return out, fmt.Errorf("simsvc: increaseStep/counterBits require kagura")
+		}
+		if sp.IncreaseStep < 0 || sp.CounterBits < 0 {
+			return out, fmt.Errorf("simsvc: negative increaseStep/counterBits")
 		}
 	}
 	if out.DecayInterval < 0 {
@@ -237,6 +255,12 @@ func (sp RunSpec) Config() (ehs.Config, error) {
 		kcfg.Policy = pol
 		if norm.Trigger == "voltage" {
 			kcfg.Trigger = kagura.TriggerVoltage
+		}
+		if norm.IncreaseStep > 0 {
+			kcfg.IncreaseStep = norm.IncreaseStep
+		}
+		if norm.CounterBits > 0 {
+			kcfg.CounterBits = norm.CounterBits
 		}
 		cfg.Kagura = &kcfg
 	}

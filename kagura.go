@@ -33,6 +33,7 @@ import (
 	"io"
 	"net/http"
 
+	"kagura/internal/campaign"
 	"kagura/internal/compress"
 	"kagura/internal/ehs"
 	"kagura/internal/experiments"
@@ -240,6 +241,46 @@ func DefaultServiceOptions() ServiceOptions { return simsvc.DefaultOptions() }
 // /v1/batch, GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET
 // /readyz, GET /metrics).
 func ServiceHandler(svc *SimService) http.Handler { return simsvc.NewHandler(svc) }
+
+// Campaign engine (internal/campaign): declarative design-space sweeps over
+// RunSpec knobs, executed as fork-batches against a SimService, with
+// Pareto-frontier extraction and byte-stable JSON/CSV export (DESIGN.md §13).
+type (
+	// CampaignSpec is the JSON description of one sweep campaign.
+	CampaignSpec = campaign.Spec
+	// CampaignAxis is one named sweep dimension of a campaign.
+	CampaignAxis = campaign.Axis
+	// CampaignObjective names the metric a campaign search optimizes.
+	CampaignObjective = campaign.Objective
+	// CampaignRunner executes campaigns synchronously on a SimService.
+	CampaignRunner = campaign.Runner
+	// CampaignReport is a finished campaign's deterministic result.
+	CampaignReport = campaign.Report
+	// CampaignPoint is one evaluated point of a campaign report.
+	CampaignPoint = campaign.PointReport
+	// CampaignPointMetrics is the per-point metric slice a report keeps.
+	CampaignPointMetrics = campaign.PointMetrics
+	// CampaignManager tracks asynchronously-running campaigns (the HTTP API).
+	CampaignManager = campaign.Manager
+	// CampaignStatus is a campaign's wire-level snapshot.
+	CampaignStatus = campaign.Status
+)
+
+// DecodeCampaignSpec reads, bounds-checks, and validates a campaign spec.
+func DecodeCampaignSpec(r io.Reader) (*CampaignSpec, error) { return campaign.DecodeSpec(r) }
+
+// CampaignParams lists the sweepable RunSpec knobs, sorted.
+func CampaignParams() []string { return campaign.ParamNames() }
+
+// NewCampaignManager creates a manager executing campaigns on svc. Close it
+// before closing the service.
+func NewCampaignManager(svc *SimService) *CampaignManager { return campaign.NewManager(svc) }
+
+// CampaignHandler layers the campaign API (POST /v1/campaigns, GET
+// /v1/campaigns/{id}, combined /metrics) over the service handler.
+func CampaignHandler(m *CampaignManager, base http.Handler) http.Handler {
+	return campaign.NewHandler(m, base)
+}
 
 // ConfigKey returns the content-addressed cache key of a configuration: a
 // canonical hash over every behavior-determining input.
