@@ -22,6 +22,7 @@ import (
 	"kagura/internal/campaign"
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
+	"kagura/internal/journal"
 )
 
 var benchVerbose = flag.Bool("bench.tables", true, "print each experiment's table during benchmarks")
@@ -263,4 +264,67 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}
 	b.Run("grid", func(b *testing.B) { run(b, campaign.StrategyGrid) })
 	b.Run("halving", func(b *testing.B) { run(b, campaign.StrategyHalving) })
+}
+
+// BenchmarkJournalSubmit measures the submit-to-settle cost of one small
+// simulation job with the crash journal off vs on (DESIGN.md §14). Every
+// iteration submits a distinct seed so nothing is served from the result
+// cache; the journaled variant pays two buffered record appends (submit +
+// settle, CRC-framed, no fsync) per job. The portable signal is the on/off
+// ns/op ratio — the journal's overhead budget is <2% of the cheapest real
+// job; BENCH_journal.json holds the recorded numbers.
+func BenchmarkJournalSubmit(b *testing.B) {
+	run := func(b *testing.B, journaled bool) {
+		opts := kagura.DefaultServiceOptions()
+		opts.Workers = 4
+		if journaled {
+			jnl, err := kagura.OpenJournal(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer jnl.Close()
+			opts.Journal = jnl
+		}
+		svc := kagura.NewService(opts)
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := kagura.RunSpec{
+				App: "jpeg", Scale: 0.02, Codec: "BDI", ACC: true,
+				Seed: uint64(i + 1),
+			}
+			job, err := svc.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := job.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkJournalAppend isolates one record append — frame, CRC-32C,
+// buffered write — the absolute cost the journal adds to each accepted job.
+// Re-appending one key also drives the compacting rotation path once the
+// segment crosses its size threshold.
+func BenchmarkJournalAppend(b *testing.B) {
+	jnl, err := kagura.OpenJournal(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jnl.Close()
+	rec := journal.Record{
+		Type: journal.TypeJobSubmit,
+		Key:  "bench",
+		Spec: json.RawMessage(`{"app":"jpeg","scale":0.02,"codec":"BDI","acc":true}`),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jnl.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

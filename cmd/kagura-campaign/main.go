@@ -4,6 +4,7 @@
 //
 //	kagura-campaign run -spec campaign.json -out report.json -csv report.csv
 //	kagura-campaign run -spec campaign.json -addr http://localhost:8080
+//	kagura-campaign run -spec campaign.json -store-dir ./state -resume
 //	kagura-campaign status -addr http://localhost:8080 [-id c1]
 //	kagura-campaign export -addr http://localhost:8080 -id c1 -format csv -out report.csv
 //	kagura-campaign params
@@ -13,6 +14,15 @@
 // until the campaign settles, and downloads the report. Either way the
 // resulting report is deterministic: same spec + seed ⇒ byte-identical
 // JSON/CSV, regardless of -workers or the server's pool size.
+//
+// run -resume picks up an interrupted campaign instead of starting over
+// (DESIGN.md §14). Locally it needs -store-dir: the run journals its waves
+// under <store-dir>/journal, and a rerun with -resume fast-forwards through
+// the checkpointed waves (store hits, not recomputation) before continuing —
+// the resumed report is byte-identical to an uninterrupted run. Remotely it
+// matches the spec's hash against the server's campaigns and re-attaches to
+// the existing one (including a campaign the server itself resumed after a
+// crash) rather than POSTing a duplicate.
 //
 // status lists a server's campaigns (or one campaign's live dispatch state);
 // export downloads a finished campaign's report. params prints the sweepable
@@ -27,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -87,10 +98,17 @@ func cmdRun(args []string) {
 	csvOut := fs.String("csv", "", "also write the CSV report here")
 	poll := fs.Duration("poll", time.Second, "remote status poll interval")
 	verbose := fs.Bool("v", false, "log each dispatched point to stderr")
+	storeDir := fs.String("store-dir", "",
+		"local mode: persistent store + crash journal directory (enables -resume)")
+	resume := fs.Bool("resume", false,
+		"resume an interrupted campaign: locally from <store-dir>/journal, remotely by spec hash")
 	fs.Parse(args)
 
 	if *specPath == "" {
 		fatal(fmt.Errorf("run: -spec is required"))
+	}
+	if *resume && *addr == "" && *storeDir == "" {
+		fatal(fmt.Errorf("run: -resume needs -store-dir (local) or -addr (remote)"))
 	}
 	f, err := os.Open(*specPath)
 	fatal(err)
@@ -100,9 +118,9 @@ func cmdRun(args []string) {
 
 	var rep *kagura.CampaignReport
 	if *addr == "" {
-		rep, err = runLocal(spec, *workers, *verbose)
+		rep, err = runLocal(spec, *workers, *verbose, *storeDir, *resume)
 	} else {
-		rep, err = runRemote(*addr, *specPath, *poll, *verbose)
+		rep, err = runRemote(*addr, *specPath, spec, *poll, *verbose, *resume)
 	}
 	fatal(err)
 
@@ -118,12 +136,50 @@ func cmdRun(args []string) {
 		rep.Name, rep.Submitted, rep.TotalPoints, rep.Rounds, rep.BestIndex, len(rep.Pareto))
 }
 
-func runLocal(spec *kagura.CampaignSpec, workers int, verbose bool) (*kagura.CampaignReport, error) {
+// runLocal executes the campaign in process. With a -store-dir the run is
+// journaled under <store-dir>/journal; with -resume as well, an interrupted
+// run whose journaled spec hash matches is fast-forwarded instead of
+// restarted (DESIGN.md §14).
+func runLocal(spec *kagura.CampaignSpec, workers int, verbose bool, storeDir string, resume bool) (*kagura.CampaignReport, error) {
 	opts := kagura.DefaultServiceOptions()
 	opts.Workers = workers
+	var jnl *kagura.Journal
+	if storeDir != "" {
+		opts.StoreDir = storeDir
+		var err error
+		jnl, err = kagura.OpenJournal(filepath.Join(storeDir, "journal"))
+		if err != nil {
+			return nil, err
+		}
+		// LIFO with svc.Close below: the service settles in-flight jobs into
+		// the journal first, then the journal closes.
+		defer jnl.Close()
+		opts.Journal = jnl
+	}
 	svc := kagura.NewService(opts)
 	defer svc.Close()
+	if err := svc.StoreErr(); err != nil {
+		return nil, err
+	}
 	runner := &kagura.CampaignRunner{Svc: svc}
+	if jnl != nil {
+		hash, _, err := campaign.SpecHash(spec)
+		if err != nil {
+			return nil, err
+		}
+		runner.Jnl = jnl
+		// Deterministic ID: reruns of the same spec find their own intent.
+		runner.CampaignID = "cli-" + hash[:12]
+		if resume {
+			if intent := jnl.State().Campaigns[runner.CampaignID]; intent != nil && intent.SpecHash == hash {
+				runner.Resume = intent
+				fmt.Fprintf(os.Stderr, "kagura-campaign: resuming from %s — %d checkpointed wave(s)\n",
+					storeDir, len(intent.Waves))
+			} else {
+				fmt.Fprintf(os.Stderr, "kagura-campaign: no interrupted run for this spec in %s; starting fresh\n", storeDir)
+			}
+		}
+	}
 	if verbose {
 		runner.Progress = func(round, index int, jobID string) {
 			fmt.Fprintf(os.Stderr, "kagura-campaign: round %d point %d -> %s\n", round, index, jobID)
@@ -134,24 +190,43 @@ func runLocal(spec *kagura.CampaignSpec, workers int, verbose bool) (*kagura.Cam
 
 // runRemote re-reads the spec file verbatim (the server validates it again),
 // POSTs it, polls until the campaign settles, and downloads the JSON report.
-func runRemote(addr, specPath string, poll time.Duration, verbose bool) (*kagura.CampaignReport, error) {
-	body, err := os.ReadFile(specPath)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.Post(strings.TrimSuffix(addr, "/")+"/v1/campaigns", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return nil, err
-	}
+// With -resume it first looks for an existing campaign with the same spec
+// hash and re-attaches to it instead of POSTing a duplicate.
+func runRemote(addr, specPath string, spec *kagura.CampaignSpec, poll time.Duration, verbose bool, resume bool) (*kagura.CampaignReport, error) {
 	var st kagura.CampaignStatus
-	if err := decodeResponse(resp, http.StatusAccepted, &st); err != nil {
-		return nil, err
+	attached := false
+	if resume {
+		var err error
+		st, attached, err = findBySpecHash(addr, spec)
+		if err != nil {
+			return nil, err
+		}
+		if attached {
+			fmt.Fprintf(os.Stderr, "kagura-campaign: re-attached to %s on %s (%s, %d/%d dispatched)\n",
+				st.ID, addr, st.State, dispatchedPoints(st), st.TotalPoints)
+		} else {
+			fmt.Fprintf(os.Stderr, "kagura-campaign: no campaign with this spec on %s; starting fresh\n", addr)
+		}
 	}
-	if verbose {
-		fmt.Fprintf(os.Stderr, "kagura-campaign: started %s on %s (%d points)\n", st.ID, addr, st.TotalPoints)
+	if !attached {
+		body, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(strings.TrimSuffix(addr, "/")+"/v1/campaigns", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeResponse(resp, http.StatusAccepted, &st); err != nil {
+			return nil, err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "kagura-campaign: started %s on %s (%d points)\n", st.ID, addr, st.TotalPoints)
+		}
 	}
 	for st.State == campaign.StateRunning {
 		time.Sleep(poll)
+		var err error
 		st, err = fetchStatus(addr, st.ID)
 		if err != nil {
 			return nil, err
@@ -168,6 +243,35 @@ func runRemote(addr, specPath string, poll time.Duration, verbose bool) (*kagura
 		return nil, fmt.Errorf("campaign %s finished without a report", st.ID)
 	}
 	return st.Report, nil
+}
+
+// findBySpecHash scans the server's campaign list for one whose recorded
+// spec hash matches the local spec (skipping failed ones) and returns its
+// full status. attached=false means nothing matched — run it fresh.
+func findBySpecHash(addr string, spec *kagura.CampaignSpec) (kagura.CampaignStatus, bool, error) {
+	hash, _, err := campaign.SpecHash(spec)
+	if err != nil {
+		return kagura.CampaignStatus{}, false, err
+	}
+	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/v1/campaigns")
+	if err != nil {
+		return kagura.CampaignStatus{}, false, err
+	}
+	var list struct {
+		Campaigns []kagura.CampaignStatus `json:"campaigns"`
+	}
+	if err := decodeResponse(resp, http.StatusOK, &list); err != nil {
+		return kagura.CampaignStatus{}, false, err
+	}
+	for _, c := range list.Campaigns {
+		if c.SpecHash == hash && c.State != campaign.StateFailed {
+			// The list view is a summary; fetch the full status (the report
+			// rides on it once the campaign is done).
+			st, err := fetchStatus(addr, c.ID)
+			return st, err == nil, err
+		}
+	}
+	return kagura.CampaignStatus{}, false, nil
 }
 
 func cmdStatus(args []string) {

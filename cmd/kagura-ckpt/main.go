@@ -7,6 +7,7 @@
 //	kagura-ckpt diff mid.ckpt other.ckpt
 //	kagura-ckpt resume -app jpeg -codec BDI -acc mid.ckpt
 //	kagura-ckpt store ls -dir /var/lib/kagura/store
+//	kagura-ckpt journal ls -dir /var/lib/kagura/store/journal
 //
 // take runs a configuration (same spec flags as kagura-sim) to a cycle bound
 // and writes the encoded snapshot. describe prints a human-readable summary.
@@ -20,6 +21,11 @@
 // ls lists every entry, gc evicts down to a byte budget and clears the
 // quarantine, and verify re-reads every payload end to end, quarantining any
 // entry that fails its checksum or decoder.
+//
+// journal inspects a kagura-serve crash-journal directory (DESIGN.md §14):
+// ls decodes and lists the intent records read-only, and verify runs the
+// server's own recovery — truncating torn tails, quarantining corrupt
+// segments — exiting 1 if it had to repair anything.
 package main
 
 import (
@@ -27,10 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"kagura"
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
+	"kagura/internal/journal"
 	"kagura/internal/store"
 )
 
@@ -50,6 +58,8 @@ func main() {
 		cmdResume(os.Args[2:])
 	case "store":
 		cmdStore(os.Args[2:])
+	case "journal":
+		cmdJournal(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -68,6 +78,7 @@ Commands:
   diff      compare two checkpoint files field by field (exit 1 if they differ)
   resume    restore a checkpoint and run it to completion
   store     inspect a persistent store directory: ls, gc, or verify
+  journal   inspect a crash-journal directory: ls (read-only) or verify
 
 Run "kagura-ckpt <command> -h" for the command's flags.
 `)
@@ -279,6 +290,79 @@ func cmdStore(args []string) {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "kagura-ckpt: unknown store subcommand %q (want ls, gc, or verify)\n", sub)
+		os.Exit(2)
+	}
+}
+
+// cmdJournal inspects a kagura-serve crash-journal directory
+// (<store-dir>/journal, DESIGN.md §14). ls is strictly read-only: it decodes
+// what it can and reports damage without repairing anything. verify opens
+// the journal the way the server does — truncating a torn tail, quarantining
+// a corrupt segment (degrading it to an empty replay rather than a crash,
+// the same posture as `store verify`) — and exits 1 if it had to repair.
+func cmdJournal(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "kagura-ckpt: journal needs a subcommand: ls or verify")
+		os.Exit(2)
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("kagura-ckpt journal "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "journal directory (required)")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		fatal(fmt.Errorf("journal %s needs -dir", sub))
+	}
+
+	switch sub {
+	case "ls":
+		ins, err := journal.Inspect(*dir)
+		fatal(err)
+		for _, rec := range ins.Records {
+			switch rec.Type {
+			case journal.TypeJobSubmit:
+				fork := ""
+				if rec.ForkCycles > 0 {
+					fork = fmt.Sprintf(" (fork@%d)", rec.ForkCycles)
+				}
+				fmt.Printf("%-14s %s%s\n", rec.Type, rec.Key, fork)
+			case journal.TypeJobSettle:
+				fmt.Printf("%-14s %s\n", rec.Type, rec.Key)
+			case journal.TypeCampaignWave:
+				fmt.Printf("%-14s %s wave %d (%d points)\n", rec.Type, rec.Campaign, rec.Wave, len(rec.Points))
+			default:
+				fmt.Printf("%-14s %s\n", rec.Type, rec.Campaign)
+			}
+		}
+		fmt.Printf("%d records, %d bytes — fold: %d pending job(s), %d campaign(s)\n",
+			len(ins.Records), ins.SizeBytes, len(ins.State.Pending), len(ins.State.Campaigns))
+		if ins.HeaderErr != nil {
+			fmt.Printf("DAMAGED header: %v (verify would quarantine this segment)\n", ins.HeaderErr)
+		}
+		if ins.Damage != nil {
+			fmt.Printf("DAMAGED tail: %v (%d bytes; verify would truncate)\n", ins.Damage, ins.TornBytes)
+		}
+	case "verify":
+		jnl, err := journal.Open(*dir)
+		fatal(err)
+		defer jnl.Close()
+		m := jnl.Metrics()
+		st := jnl.State()
+		fmt.Printf("journal opens clean after recovery: %d pending job(s), %d campaign(s), %d bytes\n",
+			len(st.Pending), len(st.Campaigns), m.SizeBytes)
+		repaired := false
+		if m.CorruptSegments > 0 {
+			fmt.Printf("QUARANTINED %d corrupt segment(s) (see %s)\n", m.CorruptSegments, filepath.Join(*dir, "quarantine"))
+			repaired = true
+		}
+		if m.TornBytesTruncated > 0 {
+			fmt.Printf("TRUNCATED %d torn byte(s) from the tail\n", m.TornBytesTruncated)
+			repaired = true
+		}
+		if repaired {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kagura-ckpt: unknown journal subcommand %q (want ls or verify)\n", sub)
 		os.Exit(2)
 	}
 }

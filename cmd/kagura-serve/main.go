@@ -38,6 +38,16 @@
 //     entries are evicted beyond it). Inspect the directory offline with
 //     `kagura-ckpt store ls|gc|verify -dir <dir>`.
 //
+// Crash recovery (DESIGN.md §14):
+//
+//   - With -store-dir set, a durable intent journal lives under
+//     <store-dir>/journal. Every accepted job and every campaign wave is
+//     recorded; on startup the server resumes interrupted campaigns and
+//     replays unsettled jobs (serving 503 on /readyz until the replay pass
+//     completes), so a SIGKILL mid-campaign costs a restart, not the sweep.
+//     Inspect the journal offline with `kagura-ckpt journal ls|verify -dir
+//     <store-dir>/journal`.
+//
 // For chaos drills, -chaos arms a deterministic fault-injection plan
 // (internal/faultinject JSON: {"seed":42,"rules":[{"point":"simsvc.compute",
 // "kind":"error","probability":0.05}]}); never set it in production.
@@ -55,6 +65,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -116,6 +127,18 @@ func main() {
 	if *logJSON {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	var jnl *kagura.Journal
+	if *storeDir != "" {
+		var err error
+		jnl, err = kagura.OpenJournal(filepath.Join(*storeDir, "journal"))
+		if err != nil {
+			// Same posture as a failing store: an explicitly requested durable
+			// tier that cannot open is a configuration error.
+			log.Fatalf("kagura-serve: journal: %v", err)
+		}
+		defer jnl.Close()
+		opts.Journal = jnl
+	}
 	svc := kagura.NewService(opts)
 	if err := svc.StoreErr(); err != nil {
 		// An explicitly requested store that cannot open is a configuration
@@ -152,7 +175,19 @@ func main() {
 		}()
 	}
 
-	campaigns := kagura.NewCampaignManager(svc)
+	var campaigns *kagura.CampaignManager
+	if jnl != nil {
+		campaigns = kagura.NewCampaignManagerJournaled(svc, jnl)
+		if resumed := campaigns.ResumeFromJournal(); len(resumed) > 0 {
+			log.Printf("kagura-serve: resumed %d interrupted campaign(s) from journal: %v", len(resumed), resumed)
+		}
+		svc.StartJournalReplay() // /readyz reports not-ready until the pass completes
+		jm := jnl.Metrics()
+		log.Printf("kagura-serve: journal — %d pending jobs, %d campaigns, %d bytes",
+			jm.PendingJobs, jm.Campaigns, jm.SizeBytes)
+	} else {
+		campaigns = kagura.NewCampaignManager(svc)
+	}
 	defer campaigns.Close()
 
 	srv := &http.Server{

@@ -1,10 +1,15 @@
 package campaign
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
+	"kagura/internal/journal"
 	"kagura/internal/simsvc"
 )
 
@@ -15,6 +20,7 @@ import (
 type Manager struct {
 	svc *simsvc.Service
 	met *Metrics
+	jnl *journal.Journal
 
 	mu        sync.Mutex
 	seq       int
@@ -36,8 +42,10 @@ const (
 
 // campaignState is one tracked campaign; mu guards everything mutable.
 type campaignState struct {
-	id   string
-	spec *Spec
+	id       string
+	spec     *Spec
+	specHash string
+	resumed  bool
 
 	mu     sync.Mutex
 	state  string
@@ -64,6 +72,11 @@ type Status struct {
 	Mode        string `json:"mode"`
 	State       string `json:"state"`
 	TotalPoints int    `json:"totalPoints"`
+	// SpecHash is the SHA-256 hex of the spec's canonical JSON — the identity
+	// the crash journal records, and what a resuming client matches on.
+	SpecHash string `json:"specHash,omitempty"`
+	// Resumed marks a campaign relaunched from the journal after a restart.
+	Resumed bool `json:"resumed,omitempty"`
 	// Dispatched lists each submitted point's simsvc job, in dispatch order.
 	Dispatched []PointJob `json:"dispatched,omitempty"`
 	Error      string     `json:"error,omitempty"`
@@ -83,6 +96,16 @@ func NewManager(svc *simsvc.Service) *Manager {
 	}
 }
 
+// NewManagerJournaled is NewManager with crash journaling: every campaign
+// writes start/wave/done records through jnl, and ResumeFromJournal can
+// relaunch whatever a previous process left unfinished. The journal is owned
+// by the caller; Close does not close it.
+func NewManagerJournaled(svc *simsvc.Service, jnl *journal.Journal) *Manager {
+	m := NewManager(svc)
+	m.jnl = jnl
+	return m
+}
+
 // Metrics returns the campaign counters snapshot.
 func (m *Manager) Metrics() MetricsSnapshot { return m.met.Snapshot() }
 
@@ -95,6 +118,10 @@ func (m *Manager) Start(spec *Spec) (string, error) {
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
+	hash, _, err := SpecHash(spec)
+	if err != nil {
+		return "", err
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -102,28 +129,39 @@ func (m *Manager) Start(spec *Spec) (string, error) {
 	}
 	m.seq++
 	cs := &campaignState{
-		id:    fmt.Sprintf("c%d", m.seq),
-		spec:  spec,
-		state: StateRunning,
-		done:  make(chan struct{}),
+		id:       fmt.Sprintf("c%d", m.seq),
+		spec:     spec,
+		specHash: hash,
+		state:    StateRunning,
+		done:     make(chan struct{}),
 	}
+	m.launchLocked(cs, nil)
+	m.mu.Unlock()
+	return cs.id, nil
+}
+
+// launchLocked registers cs and starts its runner goroutine. Callers hold
+// m.mu; resume is non-nil when relaunching a journaled campaign.
+func (m *Manager) launchLocked(cs *campaignState, resume *journal.CampaignIntent) {
 	m.campaigns[cs.id] = cs
 	m.order = append(m.order, cs.id)
 	m.wg.Add(1)
-	m.mu.Unlock()
 
 	go func() {
 		defer m.wg.Done()
 		runner := &Runner{
-			Svc: m.svc,
-			Met: m.met,
+			Svc:        m.svc,
+			Met:        m.met,
+			Jnl:        m.jnl,
+			CampaignID: cs.id,
+			Resume:     resume,
 			Progress: func(round, index int, jobID string) {
 				cs.mu.Lock()
 				cs.jobs = append(cs.jobs, PointJob{Index: index, Round: round, JobID: jobID})
 				cs.mu.Unlock()
 			},
 		}
-		report, err := runner.Run(m.baseCtx, spec)
+		report, err := runner.Run(m.baseCtx, cs.spec)
 		cs.mu.Lock()
 		if err != nil {
 			cs.state = StateFailed
@@ -135,7 +173,82 @@ func (m *Manager) Start(spec *Spec) (string, error) {
 		cs.mu.Unlock()
 		close(cs.done)
 	}()
-	return cs.id, nil
+}
+
+// ResumeFromJournal relaunches every unfinished campaign the journal holds,
+// in ID order, and returns the resumed IDs. Each intent is trusted only if
+// its spec bytes still hash to the recorded SpecHash and still validate —
+// anything else is skipped (the journal keeps the record; an operator can
+// inspect it with kagura-ckpt journal ls). Resumed campaigns keep their
+// original IDs; the sequence counter advances past them so new campaigns
+// never collide.
+func (m *Manager) ResumeFromJournal() []string {
+	if m.jnl == nil {
+		return nil
+	}
+	st := m.jnl.State()
+	ids := make([]string, 0, len(st.Campaigns))
+	for id := range st.Campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var resumed []string
+	for _, id := range ids {
+		intent := st.Campaigns[id]
+		if !specHashMatches(intent) {
+			continue
+		}
+		spec, err := DecodeSpec(bytes.NewReader(intent.Spec))
+		if err != nil || spec.Validate() != nil {
+			continue
+		}
+		m.mu.Lock()
+		if m.closed || m.campaigns[id] != nil {
+			m.mu.Unlock()
+			continue
+		}
+		// Advance the sequence past the resumed ID so new campaigns never
+		// reuse it.
+		if n, ok := seqOf(id); ok && n > m.seq {
+			m.seq = n
+		}
+		cs := &campaignState{
+			id:       id,
+			spec:     spec,
+			specHash: intent.SpecHash,
+			resumed:  true,
+			state:    StateRunning,
+			done:     make(chan struct{}),
+		}
+		m.launchLocked(cs, intent)
+		m.mu.Unlock()
+		m.met.campaignResumed()
+		resumed = append(resumed, id)
+	}
+	return resumed
+}
+
+// specHashMatches verifies a journaled campaign's spec bytes against the
+// hash recorded at start.
+func specHashMatches(intent *journal.CampaignIntent) bool {
+	if len(intent.Spec) == 0 || intent.SpecHash == "" {
+		return false
+	}
+	sum := sha256Hex(intent.Spec)
+	return sum == intent.SpecHash
+}
+
+// seqOf parses a manager-issued campaign ID ("c7" → 7).
+func seqOf(id string) (int, bool) {
+	num, found := strings.CutPrefix(id, "c")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Wait blocks until the campaign reaches a terminal state or ctx expires.
@@ -211,6 +324,8 @@ func (cs *campaignState) status() Status {
 		Mode:        cs.spec.Mode,
 		State:       cs.state,
 		TotalPoints: newSpace(cs.spec).total(),
+		SpecHash:    cs.specHash,
+		Resumed:     cs.resumed,
 		Dispatched:  append([]PointJob(nil), cs.jobs...),
 		Report:      cs.report,
 	}

@@ -20,6 +20,7 @@ type Metrics struct {
 	dispatchRetries int64
 	exportsJSON     int64
 	exportsCSV      int64
+	resumed         int64
 }
 
 func (m *Metrics) campaignStarted() {
@@ -83,6 +84,16 @@ func (m *Metrics) dispatchRetried() {
 	m.mu.Unlock()
 }
 
+// campaignResumed books one campaign relaunched from the crash journal.
+func (m *Metrics) campaignResumed() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.resumed++
+	m.mu.Unlock()
+}
+
 // ExportCounted books one successful report export ("json" or "csv").
 func (m *Metrics) ExportCounted(format string) {
 	if m == nil {
@@ -107,6 +118,7 @@ type MetricsSnapshot struct {
 	DispatchRetries int64 `json:"dispatchRetries"`
 	ExportsJSON     int64 `json:"exportsJSON"`
 	ExportsCSV      int64 `json:"exportsCSV"`
+	Resumed         int64 `json:"resumed"`
 }
 
 // Snapshot returns the current counters (zero values on a nil receiver).
@@ -125,6 +137,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DispatchRetries: m.dispatchRetries,
 		ExportsJSON:     m.exportsJSON,
 		ExportsCSV:      m.exportsCSV,
+		Resumed:         m.resumed,
 	}
 }
 
@@ -154,5 +167,8 @@ func (s MetricsSnapshot) Prometheus() string {
 	w("# TYPE kagura_campaign_exports_total counter\n")
 	w("kagura_campaign_exports_total{format=\"json\"} %d\n", s.ExportsJSON)
 	w("kagura_campaign_exports_total{format=\"csv\"} %d\n", s.ExportsCSV)
+	w("# HELP kagura_campaign_resumed_total Campaigns relaunched from the crash journal.\n")
+	w("# TYPE kagura_campaign_resumed_total counter\n")
+	w("kagura_campaign_resumed_total %d\n", s.Resumed)
 	return b.String()
 }

@@ -1,0 +1,274 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"kagura/internal/faultinject"
+	"kagura/internal/journal"
+	"kagura/internal/simsvc"
+)
+
+// recoverySpec builds the sweep the crash-recovery table runs: smallSpec's
+// 3×2 space under the given strategy and seed. Halving walks it in several
+// waves, so wave checkpoints actually matter; grid and random are the
+// single-wave degenerate cases (a crash mid-wave resumes from scratch).
+func recoverySpec(strategy string, seed uint64) *Spec {
+	s := smallSpec()
+	s.Strategy = strategy
+	s.Seed = seed
+	if strategy == StrategyRandom {
+		s.Samples = 4
+	}
+	return s
+}
+
+// interruptRun executes spec against a fresh journaled service and cancels
+// the run's context after killAfter Progress callbacks — the in-process
+// stand-in for SIGKILL at a chosen dispatch instant (the separate crashtest
+// harness kills a real process). Returns whether the run actually failed
+// (an unlucky cancel can land after the last wave settled).
+func interruptRun(t *testing.T, dir string, spec *Spec, killAfter int) bool {
+	t.Helper()
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	svc := simsvc.New(simsvc.Options{Workers: 4, QueueDepth: 256})
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	r := &Runner{
+		Svc: svc, Met: &Metrics{}, Jnl: jnl, CampaignID: "c1",
+		Progress: func(round, index int, jobID string) {
+			calls++
+			if calls == killAfter {
+				cancel()
+			}
+		},
+	}
+	_, err = r.Run(ctx, spec)
+	return err != nil
+}
+
+// resumeRun reopens the journal, resumes whatever it holds through a
+// journaled manager, and returns the resumed campaign's exports.
+func resumeRun(t *testing.T, dir string, wantResume bool) ([]byte, []byte) {
+	t.Helper()
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	svc := simsvc.New(simsvc.Options{Workers: 4, QueueDepth: 256})
+	defer svc.Close()
+	mgr := NewManagerJournaled(svc, jnl)
+	defer mgr.Close()
+
+	ids := mgr.ResumeFromJournal()
+	if !wantResume {
+		if len(ids) != 0 {
+			t.Fatalf("resumed %v from a journal that should be empty", ids)
+		}
+		return nil, nil
+	}
+	if len(ids) != 1 || ids[0] != "c1" {
+		t.Fatalf("ResumeFromJournal = %v, want [c1]", ids)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := mgr.Wait(ctx, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Status("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Resumed {
+		t.Error("Status.Resumed = false on a journal-resumed campaign")
+	}
+	if st.SpecHash == "" {
+		t.Error("Status.SpecHash empty on a journal-resumed campaign")
+	}
+	if mgr.Metrics().Resumed != 1 {
+		t.Errorf("Metrics().Resumed = %d, want 1", mgr.Metrics().Resumed)
+	}
+	rep, err := mgr.Report("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed campaign settled cleanly: its journal records are retired.
+	if got := len(jnl.State().Campaigns); got != 0 {
+		t.Errorf("journal still holds %d campaigns after resumed completion", got)
+	}
+	return exports(t, rep)
+}
+
+// cleanExports runs spec uninterrupted on a fresh, unjournaled service — the
+// reference bytes every resumed run must reproduce exactly.
+func cleanExports(t *testing.T, spec *Spec) ([]byte, []byte) {
+	t.Helper()
+	svc := newTestService(t, 4)
+	rep := runCampaign(t, svc, spec)
+	return exports(t, rep)
+}
+
+// TestCrashRecoveryTable is the in-process half of the kill-recover
+// acceptance: interrupt a journaled campaign at chosen instants (first
+// dispatch, mid-wave, the wave boundary), with and without journal-append
+// faults eating checkpoints, resume it in a fresh process-equivalent, and
+// require the resumed export to be byte-identical to a never-crashed run.
+// CI runs this under -race.
+func TestCrashRecoveryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of small campaigns")
+	}
+	type scenario struct {
+		strategy  string
+		killAfter int
+		chaos     []faultinject.Rule
+	}
+	scenarios := []scenario{
+		// Kill during the first dispatch: nothing checkpointed, resume
+		// restarts the walk from its start record.
+		{strategy: StrategyGrid, killAfter: 1},
+		{strategy: StrategyRandom, killAfter: 1},
+		{strategy: StrategyHalving, killAfter: 1},
+		// Kill mid-wave: the wave in flight is lost, earlier ones checkpointed.
+		{strategy: StrategyHalving, killAfter: 3},
+		// Kill at the wave boundary: wave 1 (4 lattice points + the round-0
+		// baseline) is checkpointed; the cancel lands on wave 2's first
+		// dispatch.
+		{strategy: StrategyHalving, killAfter: 6},
+		// Same boundary kill, but journal appends fail intermittently — lost
+		// checkpoints degrade resume to recomputing, never to wrong bytes.
+		{strategy: StrategyHalving, killAfter: 6, chaos: []faultinject.Rule{
+			{Point: "journal.append", Kind: faultinject.KindError, Every: 3},
+		}},
+	}
+	for _, sc := range scenarios {
+		for _, seed := range []uint64{1, 2, 3} {
+			name := fmt.Sprintf("%s/kill%d/seed%d", sc.strategy, sc.killAfter, seed)
+			if sc.chaos != nil {
+				name += "/append-faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				spec := recoverySpec(sc.strategy, seed)
+				wantJS, wantCSV := cleanExports(t, spec)
+
+				dir := t.TempDir()
+				var failed bool
+				func() {
+					if sc.chaos != nil {
+						faultinject.Disable()
+						if err := faultinject.Enable(faultinject.Plan{Seed: seed, Rules: sc.chaos}); err != nil {
+							t.Fatal(err)
+						}
+						defer faultinject.Disable()
+					}
+					failed = interruptRun(t, dir, recoverySpec(sc.strategy, seed), sc.killAfter)
+				}()
+				if !failed {
+					t.Skip("cancel landed after completion; nothing to resume")
+				}
+
+				js, csv := resumeRun(t, dir, true)
+				if !bytes.Equal(js, wantJS) {
+					t.Errorf("resumed JSON export differs from clean run:\n%s\n---\n%s", wantJS, js)
+				}
+				if !bytes.Equal(csv, wantCSV) {
+					t.Errorf("resumed CSV export differs from clean run:\n%s\n---\n%s", wantCSV, csv)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeAfterExportFault: the resumed campaign's first export attempt
+// hits an injected campaign.export fault; the retry must serve the same
+// bytes a clean run exports.
+func TestResumeAfterExportFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small campaigns")
+	}
+	spec := recoverySpec(StrategyHalving, 1)
+	wantJS, _ := cleanExports(t, spec)
+
+	dir := t.TempDir()
+	if !interruptRun(t, dir, recoverySpec(StrategyHalving, 1), 3) {
+		t.Skip("cancel landed after completion; nothing to resume")
+	}
+
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	svc := simsvc.New(simsvc.Options{Workers: 4, QueueDepth: 256})
+	defer svc.Close()
+	mgr := NewManagerJournaled(svc, jnl)
+	defer mgr.Close()
+	if ids := mgr.ResumeFromJournal(); len(ids) != 1 {
+		t.Fatalf("ResumeFromJournal = %v, want one id", ids)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := mgr.Wait(ctx, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.Report("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Disable()
+	if err := faultinject.Enable(faultinject.Plan{Seed: 5, Rules: []faultinject.Rule{
+		{Point: "campaign.export", Kind: faultinject.KindError, Nth: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+	if _, err := rep.ExportJSON(); err == nil {
+		t.Fatal("expected the injected export fault")
+	}
+	js, err := rep.ExportJSON()
+	if err != nil {
+		t.Fatalf("export retry: %v", err)
+	}
+	if !bytes.Equal(js, wantJS) {
+		t.Errorf("post-fault export differs from clean run:\n%s\n---\n%s", wantJS, js)
+	}
+}
+
+// TestResumeRejectsTamperedSpec: a journaled spec whose bytes no longer
+// match the recorded hash must not be resumed.
+func TestResumeRejectsTamperedSpec(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := recoverySpec(StrategyGrid, 1)
+	_, raw, err := SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Append(journal.Record{
+		Type:         journal.TypeCampaignStart,
+		Campaign:     "c1",
+		SpecHash:     "0000000000000000000000000000000000000000000000000000000000000000",
+		CampaignSpec: raw,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumeRun(t, dir, false)
+}

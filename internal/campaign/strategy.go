@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"encoding/json"
+	"fmt"
 	"sort"
 
 	"kagura/internal/rng"
@@ -12,8 +14,16 @@ import (
 // ends the campaign. Strategies are pure functions of (spec, seed, results):
 // no clocks, no map iteration, no dependence on how the previous wave's jobs
 // interleaved — that is the whole determinism argument (DESIGN.md §13.3).
+//
+// snapshot/restore serialize the strategy's mutable state for the crash
+// journal: restoring the snapshot taken after wave k means the next call to
+// next yields wave k+1 — the resumed walk is indistinguishable from one that
+// never stopped, which is what makes resumed reports byte-identical
+// (DESIGN.md §14).
 type strategy interface {
 	next(done *resultSet) []int
+	snapshot() json.RawMessage
+	restore(snap json.RawMessage) error
 }
 
 func newStrategy(spec *Spec, space *space) strategy {
@@ -45,6 +55,26 @@ func (g *gridStrategy) next(*resultSet) []int {
 	return wave
 }
 
+// oneShotState snapshots the single bit of state the one-wave strategies
+// carry.
+type oneShotState struct {
+	Done bool `json:"done"`
+}
+
+func (g *gridStrategy) snapshot() json.RawMessage {
+	raw, _ := json.Marshal(oneShotState{Done: g.done})
+	return raw
+}
+
+func (g *gridStrategy) restore(snap json.RawMessage) error {
+	var st oneShotState
+	if err := json.Unmarshal(snap, &st); err != nil {
+		return fmt.Errorf("campaign: grid snapshot: %w", err)
+	}
+	g.done = st.Done
+	return nil
+}
+
 // randomStrategy submits a seeded sample of the space as one wave. The
 // sample is the first Samples entries of a seeded permutation — the same
 // spec and seed always pick the same points.
@@ -64,6 +94,20 @@ func (r *randomStrategy) next(*resultSet) []int {
 	wave := append([]int(nil), perm[:r.samples]...)
 	sort.Ints(wave)
 	return wave
+}
+
+func (r *randomStrategy) snapshot() json.RawMessage {
+	raw, _ := json.Marshal(oneShotState{Done: r.done})
+	return raw
+}
+
+func (r *randomStrategy) restore(snap json.RawMessage) error {
+	var st oneShotState
+	if err := json.Unmarshal(snap, &st); err != nil {
+		return fmt.Errorf("campaign: random snapshot: %w", err)
+	}
+	r.done = st.Done
+	return nil
 }
 
 // halvingStrategy is adaptive successive halving over the cross-product
@@ -134,6 +178,49 @@ func (h *halvingStrategy) next(done *resultSet) []int {
 		return h.next(done) // nothing new at this stride; halve again
 	}
 	return wave
+}
+
+// halvingState is the halving walk's journal snapshot. Evaluated is the
+// evaluated set as a sorted index list — the map is rebuilt on restore, so
+// no iteration order reaches the encoded bytes.
+type halvingState struct {
+	Strides   []int `json:"strides"`
+	Evaluated []int `json:"evaluated"`
+	Started   bool  `json:"started"`
+	Exhausted bool  `json:"exhausted"`
+}
+
+func (h *halvingStrategy) snapshot() json.RawMessage {
+	st := halvingState{
+		Strides:   append([]int(nil), h.strides...),
+		Evaluated: make([]int, 0, len(h.evaluated)),
+		Started:   h.started,
+		Exhausted: h.exhausted,
+	}
+	for i := range h.evaluated {
+		st.Evaluated = append(st.Evaluated, i)
+	}
+	sort.Ints(st.Evaluated)
+	raw, _ := json.Marshal(st)
+	return raw
+}
+
+func (h *halvingStrategy) restore(snap json.RawMessage) error {
+	var st halvingState
+	if err := json.Unmarshal(snap, &st); err != nil {
+		return fmt.Errorf("campaign: halving snapshot: %w", err)
+	}
+	if len(st.Strides) != len(h.strides) {
+		return fmt.Errorf("campaign: halving snapshot has %d strides, space has %d axes", len(st.Strides), len(h.strides))
+	}
+	h.strides = append([]int(nil), st.Strides...)
+	h.evaluated = make(map[int]bool, len(st.Evaluated))
+	for _, i := range st.Evaluated {
+		h.evaluated[i] = true
+	}
+	h.started = st.Started
+	h.exhausted = st.Exhausted
+	return nil
 }
 
 func (h *halvingStrategy) unitStrides() bool {

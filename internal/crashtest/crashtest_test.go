@@ -1,0 +1,401 @@
+package crashtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kagura/internal/campaign"
+	"kagura/internal/faultinject"
+	"kagura/internal/simsvc"
+)
+
+// serveBin is the kagura-serve binary TestMain builds once for every test in
+// the package.
+var serveBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		// Every test here skips under -short; don't pay for the build either.
+		os.Exit(m.Run())
+	}
+	dir, err := os.MkdirTemp("", "kagura-crashtest-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	serveBin = filepath.Join(dir, "kagura-serve")
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err == nil {
+		cmd := exec.Command("go", "build", "-o", serveBin, "kagura/cmd/kagura-serve")
+		cmd.Dir = root
+		if out, berr := cmd.CombinedOutput(); berr != nil {
+			err = fmt.Errorf("go build kagura-serve: %v\n%s", berr, out)
+		}
+	}
+	if err != nil {
+		os.RemoveAll(dir)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// crashSpec builds the campaign the harness kills: a 3×2 sweep with a
+// baseline, dispatched one point per chunk (BatchSize 1) so the
+// campaign.dispatch latency fault yields a wide, deterministic kill window.
+func crashSpec(strategy string, seed uint64) *campaign.Spec {
+	raw := func(vals ...any) []json.RawMessage {
+		out := make([]json.RawMessage, len(vals))
+		for i, v := range vals {
+			blob, err := json.Marshal(v)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = blob
+		}
+		return out
+	}
+	s := &campaign.Spec{
+		Name:      "crash-" + strategy,
+		Strategy:  strategy,
+		Seed:      seed,
+		BatchSize: 1,
+		Base:      simsvc.RunSpec{App: "jpeg", Codec: "BDI", ACC: true},
+		Baseline:  &simsvc.RunSpec{App: "jpeg", Scale: 0.02},
+		Axes: []campaign.Axis{
+			{Param: "scale", Values: raw(0.02, 0.03, 0.04)},
+			{Param: "decayInterval", Values: raw(0, 1000)},
+		},
+	}
+	if strategy == campaign.StrategyRandom {
+		s.Samples = 4
+	}
+	return s
+}
+
+// cleanExports runs the spec to completion in process on an unjournaled
+// service — the reference bytes the killed-and-recovered server must serve.
+func cleanExports(t *testing.T, spec *campaign.Spec) ([]byte, []byte) {
+	t.Helper()
+	svc := simsvc.New(simsvc.Options{Workers: 4, QueueDepth: 256})
+	defer svc.Close()
+	r := &campaign.Runner{Svc: svc, Met: &campaign.Metrics{}}
+	rep, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	js, err := rep.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := rep.ExportCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js, csv
+}
+
+// server wraps one kagura-serve child process.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+// startServe launches the built binary against storeDir and blocks until
+// /readyz reports ready (journal replay complete). extra appends raw flags —
+// the chaos plan for the doomed first incarnation.
+func startServe(t *testing.T, storeDir string, extra ...string) *server {
+	t.Helper()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := append([]string{
+		"-addr", addr, "-store-dir", storeDir,
+		"-workers", "2", "-queue", "256", "-grace", "2s",
+	}, extra...)
+	s := &server{
+		cmd:  exec.Command(serveBin, args...),
+		base: "http://" + addr,
+		logs: &bytes.Buffer{},
+	}
+	s.cmd.Stdout = s.logs
+	s.cmd.Stderr = s.logs
+	if err := s.cmd.Start(); err != nil {
+		t.Fatalf("start kagura-serve: %v", err)
+	}
+	t.Cleanup(s.kill)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(s.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return s
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kagura-serve on %s never became ready\n%s", addr, s.logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the child — the crash under test, not a shutdown. Idempotent
+// so it doubles as the cleanup for servers the test already killed.
+func (s *server) kill() {
+	if s.cmd.Process != nil {
+		_ = s.cmd.Process.Kill()
+	}
+	_ = s.cmd.Wait()
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// writeChaosPlan lands a fault plan file for the child's -chaos flag: one
+// campaign.dispatch latency rule that stretches each point's dispatch, so
+// the kill below reliably lands mid-campaign.
+func writeChaosPlan(t *testing.T) string {
+	t.Helper()
+	plan := faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Point: "campaign.dispatch", Kind: faultinject.KindLatency, Every: 1, LatencyMicros: 150_000},
+	}}
+	blob, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func postCampaign(t *testing.T, s *server, spec *campaign.Spec) campaign.Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(s.base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns: %s: %s", resp.Status, blob)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// campaignStatus GETs one campaign's live status; ok=false means the HTTP
+// call itself failed (expected while the server is being killed).
+func campaignStatus(s *server, id string) (campaign.Status, bool) {
+	resp, err := http.Get(s.base + "/v1/campaigns/" + id)
+	if err != nil {
+		return campaign.Status{}, false
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return campaign.Status{}, false
+	}
+	var st campaign.Status
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return campaign.Status{}, false
+	}
+	return st, true
+}
+
+func dispatchedPoints(st campaign.Status) int {
+	n := 0
+	for _, pj := range st.Dispatched {
+		if pj.Index >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// waitState polls until the campaign's state is no longer running, failing
+// the test on timeout.
+func waitState(t *testing.T, s *server, id string, timeout time.Duration) campaign.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := campaignStatus(s, id)
+		if ok && st.State != campaign.StateRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still running after %s\n%s", id, timeout, s.logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func export(t *testing.T, s *server, id, format string) []byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/campaigns/%s?format=%s", s.base, id, format))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export %s: %s: %s", format, resp.Status, blob)
+	}
+	return blob
+}
+
+// TestKillRecoverCampaign is the process-level kill-recover acceptance: for
+// each strategy, SIGKILL a real kagura-serve mid-campaign, restart it on the
+// same store directory, and require the resumed campaign's JSON and CSV
+// exports to be byte-identical to an uninterrupted in-process run.
+func TestKillRecoverCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kill-loops real server processes")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	for _, strategy := range []string{campaign.StrategyGrid, campaign.StrategyRandom, campaign.StrategyHalving} {
+		t.Run(strategy, func(t *testing.T) {
+			t.Parallel()
+			wantJS, wantCSV := cleanExports(t, crashSpec(strategy, 7))
+			storeDir := t.TempDir()
+
+			// Incarnation one: chaos-armed so dispatches crawl, killed the
+			// instant two sweep points are in flight.
+			doomed := startServe(t, storeDir, "-chaos", writeChaosPlan(t))
+			st := postCampaign(t, doomed, crashSpec(strategy, 7))
+			killedMidRun := true
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				cur, ok := campaignStatus(doomed, st.ID)
+				if ok && cur.State != campaign.StateRunning {
+					// The campaign outran us; nothing in flight to kill. The
+					// restart below must then find a retired journal and
+					// simply serve the finished report.
+					killedMidRun = false
+					break
+				}
+				if ok && dispatchedPoints(cur) >= 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("campaign never reached the kill window\n%s", doomed.logs.String())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			doomed.kill()
+
+			// Incarnation two: same store dir, no chaos. Startup replays the
+			// journal (readyz gates on it) and resumes the campaign.
+			revived := startServe(t, storeDir)
+			final := waitState(t, revived, st.ID, time.Minute)
+			if final.State != campaign.StateDone {
+				t.Fatalf("recovered campaign state = %s (%s)\n%s", final.State, final.Error, revived.logs.String())
+			}
+			if killedMidRun && !final.Resumed {
+				t.Errorf("campaign killed mid-run not marked Resumed after restart\n%s", revived.logs.String())
+			}
+			if gotJS := export(t, revived, st.ID, "json"); !bytes.Equal(gotJS, wantJS) {
+				t.Errorf("recovered JSON export differs from clean run:\n%s\n---\n%s", wantJS, gotJS)
+			}
+			if gotCSV := export(t, revived, st.ID, "csv"); !bytes.Equal(gotCSV, wantCSV) {
+				t.Errorf("recovered CSV export differs from clean run:\n%s\n---\n%s", wantCSV, gotCSV)
+			}
+		})
+	}
+}
+
+// TestKillRecoverPendingJobs covers the job half of the journal: SIGKILL a
+// server with journaled jobs pending, restart, and require /readyz to gate
+// until replay has resubmitted them and the jobs to be queryable afterwards.
+func TestKillRecoverPendingJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kill-loops real server processes")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	storeDir := t.TempDir()
+
+	// Slow computes so the submitted batch is still unsettled at the kill.
+	plan := faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Point: "simsvc.compute", Kind: faultinject.KindLatency, Every: 1, LatencyMicros: 2_000_000},
+	}}
+	blob, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planPath := filepath.Join(t.TempDir(), "chaos.json")
+	if err := os.WriteFile(planPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	doomed := startServe(t, storeDir, "-chaos", planPath)
+	body := `{"jobs":[{"app":"jpeg","scale":0.02},{"app":"jpeg","scale":0.03},{"app":"gsm","scale":0.02}]}`
+	resp, err := http.Post(doomed.base+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/batch: %s", resp.Status)
+	}
+	doomed.kill()
+
+	// The restart replays the three unsettled submissions from the journal;
+	// startServe's readyz gate already proves the 503-until-replayed contract.
+	revived := startServe(t, storeDir)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(revived.base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if bytes.Contains(page, []byte("kagura_journal_replayed_jobs_total 3")) &&
+			bytes.Contains(page, []byte("kagura_journal_pending_jobs 0")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal replay never settled the killed jobs; metrics:\n%s\n%s", page, revived.logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,12 @@
+// Package crashtest is the kill-recover chaos harness (DESIGN.md §14): its
+// tests build the real kagura-serve binary, SIGKILL it mid-campaign — no
+// graceful shutdown, no settling, torn journal tails and all — restart it on
+// the same -store-dir, and require the recovered campaign's exports to be
+// byte-identical to a run that never crashed.
+//
+// The package holds no production code; it exists so `go test ./...` (and
+// the CI crash-recovery smoke job) exercises the full process-level recovery
+// path, not just the in-process table in internal/campaign. The in-flight
+// kill window is widened deterministically with a campaign.dispatch latency
+// fault plan rather than timing luck.
+package crashtest

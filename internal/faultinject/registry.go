@@ -17,6 +17,9 @@ var Registered = []string{
 	"ckpt.decode",
 	"ckpt.encode",
 	"ckpt.write",
+	"journal.append",
+	"journal.replay",
+	"journal.rotate",
 	"simsvc.cache.insert",
 	"simsvc.coalesce",
 	"simsvc.compute",

@@ -1,0 +1,487 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kagura/internal/faultinject"
+)
+
+func submitRec(key string) Record {
+	return Record{Type: TypeJobSubmit, Key: key, Spec: json.RawMessage(`{"app":"jpeg"}`)}
+}
+
+func settleRec(key string) Record {
+	return Record{Type: TypeJobSettle, Key: key}
+}
+
+func mustAppend(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append(%v): %v", rec.Type, err)
+		}
+	}
+}
+
+func segPath(dir string) string { return filepath.Join(dir, segmentName) }
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		submitRec("k1"),
+		{Type: TypeJobSubmit, Key: "fork", Spec: json.RawMessage(`{"app":"fft"}`), ForkCycles: 500, ForkBase: json.RawMessage(`{"app":"fft","scale":1}`)},
+		settleRec("k1"),
+		{Type: TypeCampaignStart, Campaign: "c1", SpecHash: "abc", CampaignSpec: json.RawMessage(`{"name":"s"}`)},
+		{Type: TypeCampaignWave, Campaign: "c1", Wave: 1, Points: []int{0, 3, 7}, Strategy: json.RawMessage(`{"done":false}`)},
+		{Type: TypeCampaignDone, Campaign: "c1"},
+	}
+	for _, rec := range recs {
+		blob, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode %v: %v", rec.Type, err)
+		}
+		got, n, err := DecodeRecord(blob)
+		if err != nil {
+			t.Fatalf("decode %v: %v", rec.Type, err)
+		}
+		if n != len(blob) {
+			t.Fatalf("decode %v consumed %d of %d bytes", rec.Type, n, len(blob))
+		}
+		re, err := EncodeRecord(got)
+		if err != nil {
+			t.Fatalf("re-encode %v: %v", rec.Type, err)
+		}
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("decode∘encode not a fixed point for %v", rec.Type)
+		}
+	}
+}
+
+func TestValidateRejectsMalformedRecords(t *testing.T) {
+	bad := []Record{
+		{Type: TypeJobSubmit},           // no key, no spec
+		{Type: TypeJobSubmit, Key: "k"}, // no spec
+		{Type: TypeJobSubmit, Key: "k", Spec: json.RawMessage(`{}`), ForkCycles: 3}, // fork without base
+		{Type: TypeJobSettle},                     // no key
+		{Type: TypeJobSettle, Key: "k", Wave: 2},  // extra field
+		{Type: TypeCampaignStart, Campaign: "c1"}, // no hash/spec
+		{Type: TypeCampaignWave, Campaign: "c1", Wave: 0, Points: []int{1}, Strategy: json.RawMessage(`{}`)},  // wave 0
+		{Type: TypeCampaignWave, Campaign: "c1", Wave: 1, Points: []int{-1}, Strategy: json.RawMessage(`{}`)}, // negative point
+		{Type: TypeCampaignDone},   // no campaign
+		{Type: Type(99), Key: "k"}, // unknown type
+	}
+	for i, rec := range bad {
+		if _, err := EncodeRecord(rec); err == nil {
+			t.Errorf("case %d (%v): EncodeRecord accepted malformed record", i, rec.Type)
+		}
+	}
+}
+
+func TestOpenAppendReopenFoldsState(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j,
+		submitRec("a"), submitRec("b"), settleRec("a"),
+		Record{Type: TypeCampaignStart, Campaign: "c1", SpecHash: "h", CampaignSpec: json.RawMessage(`{"name":"s"}`)},
+		Record{Type: TypeCampaignWave, Campaign: "c1", Wave: 1, Points: []int{0, 1}, Strategy: json.RawMessage(`{"done":false}`)},
+	)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if len(st.Pending) != 1 || st.Pending["b"].Key != "b" {
+		t.Fatalf("pending after reopen = %v, want only b", st.Pending)
+	}
+	c := st.Campaigns["c1"]
+	if c == nil || len(c.Waves) != 1 || c.Waves[0].Wave != 1 {
+		t.Fatalf("campaigns after reopen = %+v, want c1 with one wave", st.Campaigns)
+	}
+	m := j2.Metrics()
+	if m.RecoveredRecords != 5 {
+		t.Fatalf("RecoveredRecords = %d, want 5", m.RecoveredRecords)
+	}
+	if m.TornBytesTruncated != 0 || m.CorruptSegments != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", m)
+	}
+}
+
+func TestSettleAndDoneAreIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j.Close()
+	// Settle for an unknown key, done for an unknown campaign, duplicate
+	// submit, double settle: all legal, all fold cleanly.
+	mustAppend(t, j,
+		settleRec("ghost"),
+		Record{Type: TypeCampaignDone, Campaign: "ghost"},
+		submitRec("a"), submitRec("a"), settleRec("a"), settleRec("a"),
+	)
+	st := j.State()
+	if len(st.Pending) != 0 || len(st.Campaigns) != 0 {
+		t.Fatalf("fold not empty: %+v", st)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, submitRec("a"), submitRec("b"))
+	j.Close()
+
+	// Simulate a torn append: a valid prefix plus half of another record.
+	extra, err := EncodeRecord(submitRec("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(extra[:len(extra)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	st := j2.State()
+	if len(st.Pending) != 2 {
+		t.Fatalf("pending = %d, want 2 (torn record dropped)", len(st.Pending))
+	}
+	if m := j2.Metrics(); m.TornBytesTruncated != int64(len(extra)/2) {
+		t.Fatalf("TornBytesTruncated = %d, want %d", m.TornBytesTruncated, len(extra)/2)
+	}
+	// The file itself must be cut back so new appends stay decodable.
+	mustAppend(t, j2, submitRec("d"))
+	j2.Close()
+	j3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer j3.Close()
+	if m := j3.Metrics(); m.TornBytesTruncated != 0 || m.RecoveredRecords != 3 {
+		t.Fatalf("after truncation repair: %+v, want clean 3-record segment", m)
+	}
+}
+
+func TestBitFlipTailTruncated(t *testing.T) {
+	// A bit flip in the *last* record's payload must drop exactly that
+	// record; a flip in an earlier record drops it and everything after
+	// (append-only logs cannot trust anything past the first damage).
+	for _, flipFirst := range []bool{false, true} {
+		t.Run(fmt.Sprintf("flipFirst=%v", flipFirst), func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, j, submitRec("a"), submitRec("b"), submitRec("c"))
+			j.Close()
+
+			data, err := os.ReadFile(segPath(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			one, _ := EncodeRecord(submitRec("a"))
+			pos := len(data) - 3 // inside the last record's payload
+			if flipFirst {
+				pos = headerLen + len(one) - 3 // inside the first record's payload
+			}
+			data[pos] ^= 0x10
+			if err := os.WriteFile(segPath(dir), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen over bit flip: %v", err)
+			}
+			defer j2.Close()
+			st := j2.State()
+			want := 2
+			if flipFirst {
+				want = 0
+			}
+			if len(st.Pending) != want {
+				t.Fatalf("pending = %d, want %d", len(st.Pending), want)
+			}
+			if m := j2.Metrics(); m.TornBytesTruncated == 0 {
+				t.Fatal("bit flip not reported as truncated bytes")
+			}
+		})
+	}
+}
+
+func TestAlienSegmentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath(dir), []byte("NOTAJOURNALFILE????"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over alien segment: %v", err)
+	}
+	defer j.Close()
+	if m := j.Metrics(); m.CorruptSegments != 1 {
+		t.Fatalf("CorruptSegments = %d, want 1", m.CorruptSegments)
+	}
+	if st := j.State(); len(st.Pending) != 0 {
+		t.Fatalf("alien segment produced state: %+v", st)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDirName))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %v entries (err %v), want 1", len(q), err)
+	}
+	// The journal keeps working after quarantine.
+	mustAppend(t, j, submitRec("a"))
+}
+
+func TestShortSegmentRestartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir), []byte(Magic[:4]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over short segment: %v", err)
+	}
+	defer j.Close()
+	m := j.Metrics()
+	if m.CorruptSegments != 0 || m.TornBytesTruncated != 4 {
+		t.Fatalf("short segment handling: %+v, want 4 torn bytes and no quarantine", m)
+	}
+	mustAppend(t, j, submitRec("a"))
+}
+
+func TestRotationCompactsSettledRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenOptions(dir, Options{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		mustAppend(t, j, submitRec(key), settleRec(key))
+	}
+	mustAppend(t, j, submitRec("live"))
+	m := j.Metrics()
+	if m.Rotations == 0 {
+		t.Fatalf("no rotation after %d appends over a 512-byte threshold", m.Appends)
+	}
+	if m.SizeBytes > 4096 {
+		t.Fatalf("segment still %d bytes after compaction", m.SizeBytes)
+	}
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after rotation: %v", err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if len(st.Pending) != 1 || st.Pending["live"].Key != "live" {
+		t.Fatalf("pending after compaction = %v, want only live", st.Pending)
+	}
+}
+
+func TestCompactionIsDeterministic(t *testing.T) {
+	// Two journals fed the same records in different interleavings must
+	// compact to byte-identical segments: the compacted order is derived
+	// from the folded content, not the append order.
+	feed := func(dir string, recs []Record) []byte {
+		j, err := OpenOptions(dir, Options{MaxSegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := j.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		data, err := os.ReadFile(segPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := []Record{submitRec("x"), submitRec("y"), settleRec("x"), submitRec("z")}
+	b := []Record{submitRec("z"), submitRec("x"), submitRec("y"), settleRec("x")}
+	ba, bb := feed(t.TempDir(), a), feed(t.TempDir(), b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("compacted segments differ across append orders:\n%x\n%x", ba, bb)
+	}
+}
+
+func TestAppendFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// journal.append fires twice per Append (CorruptBytes, then FireErr),
+	// so the second append's error check is occurrence 4.
+	if err := faultinject.Enable(faultinject.Plan{
+		Seed:  7,
+		Rules: []faultinject.Rule{{Point: "journal.append", Kind: faultinject.KindError, Nth: 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+
+	if err := j.Append(submitRec("a")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	err = j.Append(submitRec("b"))
+	if err == nil {
+		t.Fatal("append 2 should have hit the injected fault")
+	}
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("append 2 error %v is not an InjectedError", err)
+	}
+	if err := j.Append(submitRec("c")); err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+	m := j.Metrics()
+	if m.Appends != 2 || m.AppendErrors != 1 {
+		t.Fatalf("metrics = %+v, want 2 appends and 1 error", m)
+	}
+	// The refused record must not be in the fold or on disk.
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if _, ok := st.Pending["b"]; ok {
+		t.Fatal("refused append reached the fold")
+	}
+	if len(st.Pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(st.Pending))
+	}
+}
+
+func TestAppendCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, submitRec("good"))
+	if err := faultinject.Enable(faultinject.Plan{
+		Seed:  11,
+		Rules: []faultinject.Rule{{Point: "journal.append", Kind: faultinject.KindCorrupt, Every: 1, Limit: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j.Append(submitRec("mangled")) // bits flipped on the way to disk
+	faultinject.Disable()
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over corrupt append: %v", err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if _, ok := st.Pending["good"]; !ok {
+		t.Fatal("good record lost")
+	}
+	// The corrupt record either decoded (flip hit a redundant byte — not
+	// possible with CRC framing) or was truncated; either way no crash and
+	// the good prefix survives.
+	if m := j2.Metrics(); m.TornBytesTruncated == 0 {
+		t.Fatal("corrupt append not detected on reopen")
+	}
+}
+
+func TestCloseRejectsFurtherAppends(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Append(submitRec("a")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestInspectIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, submitRec("a"), submitRec("b"), settleRec("a"))
+	j.Close()
+
+	// Tear the tail, then Inspect: the damage is reported but the file is
+	// not modified and nothing is quarantined.
+	f, err := os.OpenFile(segPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF})
+	f.Close()
+	before, _ := os.ReadFile(segPath(dir))
+
+	ins, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(ins.Records) != 3 || ins.TornBytes != 2 || ins.Damage == nil {
+		t.Fatalf("inspection = %d records, %d torn, damage %v", len(ins.Records), ins.TornBytes, ins.Damage)
+	}
+	if len(ins.State.Pending) != 1 {
+		t.Fatalf("inspected fold = %+v", ins.State)
+	}
+	after, _ := os.ReadFile(segPath(dir))
+	if !bytes.Equal(before, after) {
+		t.Fatal("Inspect modified the segment")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDirName)); !os.IsNotExist(err) {
+		t.Fatal("Inspect created a quarantine directory")
+	}
+}
+
+func TestInspectMissingSegment(t *testing.T) {
+	ins, err := Inspect(t.TempDir())
+	if err != nil {
+		t.Fatalf("Inspect empty dir: %v", err)
+	}
+	if len(ins.Records) != 0 || ins.SizeBytes != 0 || ins.Damage != nil || ins.HeaderErr != nil {
+		t.Fatalf("missing segment inspection = %+v, want empty", ins)
+	}
+}

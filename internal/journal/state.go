@@ -1,0 +1,177 @@
+// Folding journal records into replayable state. The journal is an intent
+// log: what matters after a crash is not the record sequence but its fold —
+// which submits have no settle, and which campaigns have no done record.
+// Compaction rewrites a segment from this fold, so the fold order here *is*
+// the canonical record order of a compacted segment.
+package journal
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// JobIntent is a pending (unsettled) job submit.
+type JobIntent struct {
+	// Key is the content-addressed cache key the submit recorded.
+	Key string
+	// Spec is the normalized RunSpec JSON.
+	Spec json.RawMessage
+	// ForkCycles and ForkBase are set for warm-start fork submits; replay
+	// must resubmit through the fork path so the cache identity matches.
+	ForkCycles int64
+	ForkBase   json.RawMessage
+}
+
+// WaveCheckpoint is one completed campaign wave.
+type WaveCheckpoint struct {
+	// Wave is the 1-based wave number.
+	Wave int
+	// Points are the space indices the wave submitted.
+	Points []int
+	// Strategy is the strategy snapshot taken after this wave was generated:
+	// restore it and the next strategy step yields wave Wave+1.
+	Strategy json.RawMessage
+}
+
+// CampaignIntent is a started, unfinished campaign: its spec plus every wave
+// checkpoint recorded before the crash.
+type CampaignIntent struct {
+	// ID is the campaign's manager ID (e.g. "c1"); resume relaunches the
+	// campaign under the same ID.
+	ID string
+	// SpecHash is the SHA-256 hex of Spec as recorded at start; resume
+	// verifies it before trusting the spec bytes.
+	SpecHash string
+	// Spec is the validated campaign spec JSON.
+	Spec json.RawMessage
+	// Waves holds the recorded wave checkpoints in append order.
+	Waves []WaveCheckpoint
+}
+
+// State is the fold of a journal segment: everything a restarted process
+// must re-submit or resume.
+type State struct {
+	// Pending maps cache key → unsettled job submit.
+	Pending map[string]JobIntent
+	// Campaigns maps campaign ID → unfinished campaign.
+	Campaigns map[string]*CampaignIntent
+}
+
+func newState() *State {
+	return &State{
+		Pending:   make(map[string]JobIntent),
+		Campaigns: make(map[string]*CampaignIntent),
+	}
+}
+
+// apply folds one record into the state. Every rule is idempotent and
+// tolerant of loss: a duplicate submit overwrites with equal content, a
+// settle for an unknown key is a no-op, a wave for an unknown campaign is
+// dropped (its start record was lost — the campaign restarts from scratch,
+// which replay handles), and a duplicate wave number replaces the earlier
+// checkpoint. That tolerance is what lets the journal skip per-append fsync:
+// a lost tail record can only cause extra recomputation, never wrong state.
+func (s *State) apply(rec Record) {
+	switch rec.Type {
+	case TypeJobSubmit:
+		s.Pending[rec.Key] = JobIntent{
+			Key:        rec.Key,
+			Spec:       rec.Spec,
+			ForkCycles: rec.ForkCycles,
+			ForkBase:   rec.ForkBase,
+		}
+	case TypeJobSettle:
+		delete(s.Pending, rec.Key)
+	case TypeCampaignStart:
+		s.Campaigns[rec.Campaign] = &CampaignIntent{
+			ID:       rec.Campaign,
+			SpecHash: rec.SpecHash,
+			Spec:     rec.CampaignSpec,
+		}
+	case TypeCampaignWave:
+		c := s.Campaigns[rec.Campaign]
+		if c == nil {
+			return
+		}
+		w := WaveCheckpoint{Wave: rec.Wave, Points: rec.Points, Strategy: rec.Strategy}
+		for i := range c.Waves {
+			if c.Waves[i].Wave == rec.Wave {
+				c.Waves[i] = w
+				return
+			}
+		}
+		c.Waves = append(c.Waves, w)
+	case TypeCampaignDone:
+		delete(s.Campaigns, rec.Campaign)
+	}
+}
+
+// clone deep-copies the state so callers can walk it without holding the
+// journal's lock. RawMessage bytes are shared — the journal never mutates
+// them after append.
+func (s *State) clone() State {
+	out := State{
+		Pending:   make(map[string]JobIntent, len(s.Pending)),
+		Campaigns: make(map[string]*CampaignIntent, len(s.Campaigns)),
+	}
+	for k, v := range s.Pending {
+		out.Pending[k] = v
+	}
+	for id, c := range s.Campaigns {
+		cc := *c
+		//kagura:allow mapiterorder clone copies into a map keyed by id; no order leaks
+		cc.Waves = append([]WaveCheckpoint(nil), c.Waves...)
+		out.Campaigns[id] = &cc
+	}
+	return out
+}
+
+// records flattens the fold back into the canonical compacted record
+// sequence: pending jobs sorted by key, then campaigns sorted by ID, each as
+// its start record followed by its waves in ascending wave order. The order
+// is total and content-derived, so compacting the same state twice yields
+// identical bytes (mapiterorder would flag a ranged map here otherwise).
+func (s *State) records() []Record {
+	recs := make([]Record, 0, len(s.Pending)+2*len(s.Campaigns))
+	keys := make([]string, 0, len(s.Pending))
+	for k := range s.Pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := s.Pending[k]
+		recs = append(recs, Record{
+			Type:       TypeJobSubmit,
+			Key:        p.Key,
+			Spec:       p.Spec,
+			ForkCycles: p.ForkCycles,
+			ForkBase:   p.ForkBase,
+		})
+	}
+	ids := make([]string, 0, len(s.Campaigns))
+	for id := range s.Campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := s.Campaigns[id]
+		recs = append(recs, Record{
+			Type:         TypeCampaignStart,
+			Campaign:     c.ID,
+			SpecHash:     c.SpecHash,
+			CampaignSpec: c.Spec,
+		})
+		waves := append([]WaveCheckpoint(nil), c.Waves...)
+		sort.Slice(waves, func(i, j int) bool { return waves[i].Wave < waves[j].Wave })
+		for _, w := range waves {
+			recs = append(recs, Record{
+				Type:     TypeCampaignWave,
+				Campaign: c.ID,
+				Wave:     w.Wave,
+				Points:   w.Points,
+				Strategy: w.Strategy,
+			})
+		}
+	}
+	return recs
+}

@@ -39,6 +39,7 @@ var PersistingPackages = []string{
 	"kagura/cmd/kagura-ckpt",
 	"kagura/cmd/kagura-serve",
 	"kagura/internal/ckpt",
+	"kagura/internal/journal",
 	"kagura/internal/simsvc",
 	"kagura/internal/store",
 }

@@ -53,6 +53,16 @@ const (
 	MetricStoreCorruptTotal      = "kagura_store_corrupt_entries_total"
 	MetricStorePublishDropsTotal = "kagura_store_publish_drops_total"
 
+	// Durable intent journal (internal/journal).
+	MetricJournalEnabled              = "kagura_journal_enabled"
+	MetricJournalAppendsTotal         = "kagura_journal_appends_total"
+	MetricJournalAppendErrorsTotal    = "kagura_journal_append_errors_total"
+	MetricJournalRotationsTotal       = "kagura_journal_rotations_total"
+	MetricJournalCorruptSegmentsTotal = "kagura_journal_corrupt_segments_total"
+	MetricJournalBytes                = "kagura_journal_bytes"
+	MetricJournalPendingJobs          = "kagura_journal_pending_jobs"
+	MetricJournalReplayedJobsTotal    = "kagura_journal_replayed_jobs_total"
+
 	// Histograms.
 	MetricJobPhaseSeconds    = "kagura_job_phase_seconds"
 	MetricQueueDepthObserved = "kagura_queue_depth_observed"
@@ -68,6 +78,7 @@ const (
 	MetricCampaignRoundsTotal     = "kagura_campaign_rounds_total"
 	MetricCampaignDispatchRetries = "kagura_campaign_dispatch_retries_total"
 	MetricCampaignExportsTotal    = "kagura_campaign_exports_total"
+	MetricCampaignResumedTotal    = "kagura_campaign_resumed_total"
 )
 
 // KnownMetricNames returns every catalogued family name, in declaration
@@ -103,6 +114,14 @@ func KnownMetricNames() []string {
 		MetricStoreEvictionsTotal,
 		MetricStoreCorruptTotal,
 		MetricStorePublishDropsTotal,
+		MetricJournalEnabled,
+		MetricJournalAppendsTotal,
+		MetricJournalAppendErrorsTotal,
+		MetricJournalRotationsTotal,
+		MetricJournalCorruptSegmentsTotal,
+		MetricJournalBytes,
+		MetricJournalPendingJobs,
+		MetricJournalReplayedJobsTotal,
 		MetricJobPhaseSeconds,
 		MetricQueueDepthObserved,
 		MetricQueueDepthSampled,
@@ -113,6 +132,7 @@ func KnownMetricNames() []string {
 		MetricCampaignRoundsTotal,
 		MetricCampaignDispatchRetries,
 		MetricCampaignExportsTotal,
+		MetricCampaignResumedTotal,
 	}
 }
 

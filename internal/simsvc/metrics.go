@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"kagura/internal/journal"
 	"kagura/internal/obs"
 	"kagura/internal/store"
 )
@@ -66,6 +67,10 @@ type metrics struct {
 	// storePublishDrops counts asynchronous store writes dropped because the
 	// publish queue was full (persistence is best-effort; serving is not).
 	storePublishDrops int64
+
+	// journalReplayed counts jobs re-submitted from the intent journal at
+	// startup (the journal's own counters live in journal.MetricsSnapshot).
+	journalReplayed int64
 
 	// Fixed-bucket histograms; guarded by Service.mu like the counters, so
 	// the unsynchronized obs.Histogram is safe here.
@@ -142,6 +147,13 @@ type MetricsSnapshot struct {
 	Store             store.MetricsSnapshot `json:"store"`
 	StorePublishDrops int64                 `json:"storePublishDrops"`
 
+	// Intent journal (internal/journal): enabled state, the journal's own
+	// counters, and jobs re-submitted by startup replay. Journal fields are
+	// all zero when journaling is disabled.
+	JournalEnabled      bool                    `json:"journalEnabled"`
+	Journal             journal.MetricsSnapshot `json:"journal"`
+	JournalReplayedJobs int64                   `json:"journalReplayedJobs"`
+
 	// Latency and size distributions (fixed buckets; see DESIGN.md §11).
 	QueueSeconds obs.HistogramSnapshot `json:"queueSeconds"`
 	RunSeconds   obs.HistogramSnapshot `json:"runSeconds"`
@@ -204,9 +216,16 @@ func (s *Service) Metrics() MetricsSnapshot {
 		ResultBytes:        s.met.resultBytesHist.Snapshot(),
 		SnapshotBytes:      s.met.snapshotBytesHist.Snapshot(),
 	}
+	snap.JournalReplayedJobs = s.met.journalReplayed
 	if s.store != nil {
 		snap.StoreEnabled = true
 		snap.Store = s.store.Metrics()
+	}
+	if s.jnl != nil {
+		snap.JournalEnabled = true
+		// The journal lock is a leaf (it never takes s.mu), so nesting it
+		// under s.mu here cannot deadlock.
+		snap.Journal = s.jnl.Metrics()
 	}
 	if len(s.met.errorsByCode) > 0 {
 		snap.Errors = make(map[string]int64, len(s.met.errorsByCode))
@@ -334,6 +353,35 @@ func (m MetricsSnapshot) Prometheus() string {
 	w("# HELP kagura_store_publish_drops_total Asynchronous store writes dropped because the publish queue was full.\n")
 	w("# TYPE kagura_store_publish_drops_total counter\n")
 	w("kagura_store_publish_drops_total %d\n", m.StorePublishDrops)
+	// Intent journal. Like the store families: unconditional, zeros when off.
+	w("# HELP kagura_journal_enabled Intent journal configured and open (1 = yes).\n")
+	w("# TYPE kagura_journal_enabled gauge\n")
+	jEnabled := 0
+	if m.JournalEnabled {
+		jEnabled = 1
+	}
+	w("kagura_journal_enabled %d\n", jEnabled)
+	w("# HELP kagura_journal_appends_total Records appended to the intent journal.\n")
+	w("# TYPE kagura_journal_appends_total counter\n")
+	w("kagura_journal_appends_total %d\n", m.Journal.Appends)
+	w("# HELP kagura_journal_append_errors_total Journal appends refused or failed.\n")
+	w("# TYPE kagura_journal_append_errors_total counter\n")
+	w("kagura_journal_append_errors_total %d\n", m.Journal.AppendErrors)
+	w("# HELP kagura_journal_rotations_total Journal segment compactions.\n")
+	w("# TYPE kagura_journal_rotations_total counter\n")
+	w("kagura_journal_rotations_total %d\n", m.Journal.Rotations)
+	w("# HELP kagura_journal_corrupt_segments_total Journal segments quarantined as unreadable.\n")
+	w("# TYPE kagura_journal_corrupt_segments_total counter\n")
+	w("kagura_journal_corrupt_segments_total %d\n", m.Journal.CorruptSegments)
+	w("# HELP kagura_journal_bytes Live journal segment size on disk.\n")
+	w("# TYPE kagura_journal_bytes gauge\n")
+	w("kagura_journal_bytes %d\n", m.Journal.SizeBytes)
+	w("# HELP kagura_journal_pending_jobs Unsettled job intents in the journal fold.\n")
+	w("# TYPE kagura_journal_pending_jobs gauge\n")
+	w("kagura_journal_pending_jobs %d\n", m.Journal.PendingJobs)
+	w("# HELP kagura_journal_replayed_jobs_total Jobs re-submitted from the journal at startup.\n")
+	w("# TYPE kagura_journal_replayed_jobs_total counter\n")
+	w("kagura_journal_replayed_jobs_total %d\n", m.JournalReplayedJobs)
 	w("# HELP kagura_job_phase_seconds Job latency by phase.\n")
 	w("# TYPE kagura_job_phase_seconds histogram\n")
 	m.QueueSeconds.WritePrometheus(&b, "kagura_job_phase_seconds", `phase="queue"`)

@@ -86,12 +86,12 @@ func TestInFlightEntriesPinnedAgainstEviction(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	}
-	owner, err := svc.submit(nil, "pinned", blocked, 0, 0)
+	owner, err := svc.submit(nil, "pinned", blocked, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	waiter, err := svc.submit(nil, "pinned", nil, 0, 0) // coalesces onto owner
+	waiter, err := svc.submit(nil, "pinned", nil, 0, 0, nil) // coalesces onto owner
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestTracePhasesAcrossRetries(t *testing.T) {
 		}
 		return &ehs.Result{Completed: true}, nil
 	}
-	job, err := svc.submit(nil, "trace-retry", flaky, 0, 0)
+	job, err := svc.submit(nil, "trace-retry", flaky, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,7 +132,7 @@ func TestCancelAbortsRetryBackoff(t *testing.T) {
 		attempts.Add(1)
 		return nil, &faultinject.InjectedError{Point: "test", Occurrence: 1}
 	}
-	job, err := svc.submit(nil, "backoff-cancel", transient, 0, 0)
+	job, err := svc.submit(nil, "backoff-cancel", transient, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,13 +184,13 @@ func TestLoadSheddingBreaker(t *testing.T) {
 	// must be shed.
 	var jobs []*Job
 	for i := 0; i < 5; i++ {
-		job, err := svc.submit(nil, "shed-"+string(rune('a'+i)), blocker, 0, 0)
+		job, err := svc.submit(nil, "shed-"+string(rune('a'+i)), blocker, 0, 0, nil)
 		if err != nil {
 			t.Fatalf("submit %d below high water failed: %v", i, err)
 		}
 		jobs = append(jobs, job)
 	}
-	_, err := svc.submit(nil, "shed-overflow", blocker, 0, 0)
+	_, err := svc.submit(nil, "shed-overflow", blocker, 0, 0, nil)
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overflow submit: %v, want ErrOverloaded", err)
 	}
@@ -545,7 +545,7 @@ func TestHTTPShedRetryAfter(t *testing.T) {
 	}
 	// High water is max(1, 4*0.5) = 2 queued jobs; fill to it.
 	for i := 0; i < 2; i++ {
-		if _, err := svc.submit(nil, "http-shed-"+string(rune('a'+i)), blocker, 0, 0); err != nil {
+		if _, err := svc.submit(nil, "http-shed-"+string(rune('a'+i)), blocker, 0, 0, nil); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}

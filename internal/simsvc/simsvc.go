@@ -40,6 +40,7 @@ import (
 
 	"kagura/internal/ckpt"
 	"kagura/internal/ehs"
+	"kagura/internal/journal"
 	"kagura/internal/obs"
 	"kagura/internal/rng"
 	"kagura/internal/store"
@@ -150,6 +151,14 @@ type Options struct {
 	// sampler; SampleQueueDepth can always be driven manually.
 	QueueSampleInterval time.Duration
 
+	// Journal, when non-nil, is the durable intent log the service writes
+	// through on job submit and settle (see journal.go for the replay
+	// invariant). The journal is owned by the caller — typically opened by
+	// kagura-serve beside the store directory — and is NOT closed by
+	// Service.Close: settles appended during a graceful drain must land
+	// before the owner closes the log.
+	Journal *journal.Journal
+
 	// Logger, when non-nil, receives structured job lifecycle events
 	// (submit, retry, finish) carrying the job ID, cache key, taxonomy error
 	// code, and attempt count. Nil — the default, and what benchmarks run
@@ -250,6 +259,10 @@ type Job struct {
 	// attempts counts compute attempts actually started (0 until a worker
 	// picks the job up; 1 + retries after).
 	attempts int
+	// journaled marks a job whose submit record reached the intent journal;
+	// only such jobs append settles. On owner promotion (Cancel) the flag
+	// transfers to the promoted waiter along with the cache entry.
+	journaled bool
 }
 
 // ID returns the job's service-unique identifier.
@@ -350,6 +363,11 @@ type Service struct {
 	storeErr error
 	storeQ   chan storeWrite
 	storeWG  sync.WaitGroup
+
+	// Intent journal (nil unless Options.Journal is set; see journal.go).
+	// replaying gates /readyz while StartJournalReplay catches up.
+	jnl       *journal.Journal
+	replaying bool
 }
 
 // New creates a Service and starts its worker pool.
@@ -365,6 +383,7 @@ func New(opts Options) *Service {
 		lru:     list.New(),
 		jobs:    make(map[string]*Job),
 		warm:    make(map[warmKey]*warmEntry),
+		jnl:     opts.Journal,
 
 		retryRng: rng.New(opts.RetrySeed),
 	}
@@ -395,6 +414,14 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 
+	// Shutdown ordering matters for crash-tolerance: settles are appended
+	// synchronously inside finishJob, so by the time wg.Wait returns every
+	// job a worker finished cleanly has its settle in the journal. Only then
+	// does the drain below abandon what's left in the queue (ErrClosed while
+	// closed does NOT settle — those intents replay after restart), and only
+	// after that does the store pump flush and close. A graceful SIGTERM
+	// therefore leaves a journal whose pending set is exactly the abandoned
+	// work: no spurious replays of jobs that settled on the way down.
 	s.stop() // cancels every job context derived from baseCtx
 	s.wg.Wait()
 
@@ -448,7 +475,7 @@ func (s *Service) Submit(spec RunSpec) (*Job, error) {
 	compute := func(ctx context.Context) (*ehs.Result, error) {
 		return ehs.RunContext(ctx, cfg)
 	}
-	return s.submit(&norm, key, compute, timeout, 0)
+	return s.submit(&norm, key, compute, timeout, 0, s.submitRecord(&norm, key))
 }
 
 // SubmitBatch schedules many runs, stopping at the first invalid spec. Jobs
@@ -471,7 +498,9 @@ func (s *Service) SubmitBatch(specs []RunSpec) ([]*Job, error) {
 // an identical in-flight job). Canceling ctx abandons the wait AND cancels
 // the job if this call owns it and nobody else is coalesced onto it.
 func (s *Service) Do(ctx context.Context, key string, compute func(context.Context) (*ehs.Result, error)) (*ehs.Result, bool, error) {
-	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout, 0)
+	// Do jobs carry an opaque closure the journal could not replay, so they
+	// are never journaled (nil record).
+	job, err := s.submit(nil, key, compute, s.opts.DefaultTimeout, 0, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -576,10 +605,12 @@ func (s *Service) Cancel(id string) error {
 		// Nobody else depends on this computation: kill it outright. A queued
 		// job resolves here; a running one when its compute observes the ctx.
 		queued := job.state == StateQueued
+		settleKey := ""
 		if queued {
-			s.finishJobLocked(job, nil, context.Canceled, now)
+			settleKey = s.finishJobLocked(job, nil, context.Canceled, now)
 		}
 		s.mu.Unlock()
+		s.journalSettle(settleKey)
 		if !queued {
 			job.cancel()
 		}
@@ -592,8 +623,13 @@ func (s *Service) Cancel(id string) error {
 		// Queued owner with waiters: promote the first waiter to owner before
 		// finishing, so the entry resolution sees a non-owner and leaves the
 		// entry alive. The promoted job inherits the canceled job's queue slot
-		// when a worker drains it (slotOwnerLocked).
+		// when a worker drains it (slotOwnerLocked) — and the canceled job's
+		// journal record: the intent is still being computed, so the settle
+		// responsibility moves with the entry rather than firing here.
 		e.owner, e.waiters = e.waiters[0], e.waiters[1:]
+		if job.journaled {
+			e.owner.journaled = true
+		}
 		s.finishJobLocked(job, nil, context.Canceled, now)
 		s.mu.Unlock()
 	default:
@@ -652,12 +688,16 @@ func (s *Service) statusLocked(job *Job) JobStatus {
 }
 
 // submit registers a job and routes it: instant cache hit, coalesce onto an
-// in-flight twin, or enqueue for a worker.
-func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, error) {
-	job, err := s.submitLocked(spec, key, compute, timeout, forkCycle)
+// in-flight twin, or enqueue for a worker. A job that wins a queue slot
+// writes its intent record (jr, when journaling is on) through the journal.
+func (s *Service) submit(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64, jr *journal.Record) (*Job, error) {
+	job, enqueued, err := s.submitLocked(spec, key, compute, timeout, forkCycle)
 	if err != nil {
 		s.logEvent("job.reject", slog.String("key", key), slog.String("code", string(Classify(err))))
 		return nil, err
+	}
+	if enqueued && jr != nil {
+		s.journalIntent(job, *jr)
 	}
 	if s.opts.Logger != nil {
 		s.mu.Lock()
@@ -698,11 +738,14 @@ func (s *Service) logFinish(job *Job) {
 	s.opts.Logger.Info("job.finish", attrs...)
 }
 
-func (s *Service) submitLocked(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, error) {
+// submitLocked routes the job; the returned bool reports whether it won its
+// own queue slot (the only case that journals intent — cache hits and
+// coalesced waiters ride the owning submission's record).
+func (s *Service) submitLocked(spec *RunSpec, key string, compute func(context.Context) (*ehs.Result, error), timeout time.Duration, forkCycle int64) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	s.seq++
 	job := &Job{
@@ -739,7 +782,7 @@ func (s *Service) submitLocked(spec *RunSpec, key string, compute func(context.C
 			delete(s.jobs, job.id)
 			job.cancel()
 			s.met.countError(Classify(ierr))
-			return nil, ierr
+			return nil, false, ierr
 		}
 		job.trace.Begin(obs.PhaseCoalesced, job.created)
 		e.waiters = append(e.waiters, job)
@@ -749,21 +792,22 @@ func (s *Service) submitLocked(spec *RunSpec, key string, compute func(context.C
 			job.cancel()
 			s.met.jobsShed++
 			s.met.countError(CodeOverloaded)
-			return nil, ErrOverloaded
+			return nil, false, ErrOverloaded
 		}
 		select {
 		case s.queue <- job:
 			job.trace.Begin(obs.PhaseQueued, job.created)
 			s.met.queueDepthHist.Observe(float64(len(s.queue)))
 			s.cache[key] = &entry{owner: job}
+			return job, true, nil
 		default:
 			delete(s.jobs, job.id)
 			job.cancel()
 			s.met.countError(CodeQueueFull)
-			return nil, ErrQueueFull
+			return nil, false, ErrQueueFull
 		}
 	}
-	return job, nil
+	return job, false, nil
 }
 
 // shedLocked evaluates and returns the load-shedding breaker: it opens when
@@ -795,6 +839,8 @@ func (s *Service) Ready() (bool, string) {
 	switch {
 	case s.closed:
 		return false, "closed"
+	case s.replaying:
+		return false, "replaying journal"
 	case s.shedLocked():
 		return false, "shedding load"
 	default:
@@ -987,16 +1033,19 @@ func terminalState(st State) bool {
 }
 
 // finishJob moves a job to a terminal state, publishes (or clears) the cache
-// entry it owns, and resolves coalesced waiters.
+// entry it owns, resolves coalesced waiters, and — when the outcome retires
+// a journaled intent — appends the settle record after releasing the lock.
 func (s *Service) finishJob(job *Job, res *ehs.Result, err error) {
 	s.mu.Lock()
-	s.finishJobLocked(job, res, err, time.Now())
+	settleKey := s.finishJobLocked(job, res, err, time.Now())
 	s.mu.Unlock()
+	s.journalSettle(settleKey)
 	s.logFinish(job)
 }
 
-// finishJobLocked is finishJob with s.mu held.
-func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time.Time) {
+// finishJobLocked is finishJob with s.mu held. The returned key is non-empty
+// when the caller must append a journal settle for it (outside the lock).
+func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time.Time) string {
 	e := s.cache[job.key]
 	ownsEntry := e != nil && e.owner == job
 	if terminalState(job.state) {
@@ -1004,7 +1053,7 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 		// owns a live cache entry its computation ran on for the coalesced
 		// waiters: fall through to deliver the outcome to them.
 		if !ownsEntry {
-			return
+			return ""
 		}
 	} else {
 		// Book the job's own outcome.
@@ -1036,7 +1085,14 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 	// Resolve the cache entry this job owns. Success publishes the result;
 	// failure clears the slot so a retry can recompute. Coalesced waiters
 	// inherit the owner's outcome, successes counting as cache hits.
+	settleKey := ""
 	if ownsEntry {
+		// Entry resolution is the journal's settle point: the intent the
+		// submit record promised is now spent — unless shutdown abandoned it
+		// (see settlesLocked), in which case it stays pending for replay.
+		if job.journaled && s.settlesLocked(err) {
+			settleKey = job.key
+		}
 		waiters := e.waiters
 		if err == nil {
 			e.ready, e.res, e.owner, e.waiters = true, res, nil, nil
@@ -1069,6 +1125,7 @@ func (s *Service) finishJobLocked(job *Job, res *ehs.Result, err error, now time
 	}
 	s.finishOneLocked(job, res, err, false, now)
 	job.cancel() // idempotent; also releases a detached owner's context once its computation returns
+	return settleKey
 }
 
 // finishOneLocked moves a single job to a terminal state — result fields,

@@ -542,7 +542,7 @@ func TestCancelRunningOwnerKeepsWaiters(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	}
-	owner, err := svc.submit(nil, "shared", block, 0, 0)
+	owner, err := svc.submit(nil, "shared", block, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,7 +557,7 @@ func TestCancelRunningOwnerKeepsWaiters(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	waiter, err := svc.submit(nil, "shared", block, 0, 0)
+	waiter, err := svc.submit(nil, "shared", block, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

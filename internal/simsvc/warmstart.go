@@ -142,7 +142,7 @@ func (s *Service) submitFork(spec RunSpec, base RunSpec, baseKey string, baseCfg
 		s.noteDegraded()
 		return ehs.RunContext(ctx, cfg)
 	}
-	return s.submit(&norm, key, compute, timeout, cycles)
+	return s.submit(&norm, key, compute, timeout, cycles, s.forkRecord(&norm, key, &base, cycles))
 }
 
 // noteDegraded counts one warm start abandoned for a cold run.

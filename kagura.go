@@ -37,6 +37,7 @@ import (
 	"kagura/internal/compress"
 	"kagura/internal/ehs"
 	"kagura/internal/experiments"
+	"kagura/internal/journal"
 	"kagura/internal/kagura"
 	"kagura/internal/nvm"
 	"kagura/internal/obs"
@@ -275,6 +276,24 @@ func CampaignParams() []string { return campaign.ParamNames() }
 // NewCampaignManager creates a manager executing campaigns on svc. Close it
 // before closing the service.
 func NewCampaignManager(svc *SimService) *CampaignManager { return campaign.NewManager(svc) }
+
+// Journal is the durable crash journal (internal/journal): an append-only,
+// CRC-framed intent log the service and campaign manager write through, so a
+// killed process can replay unsettled jobs and resume interrupted campaigns
+// on restart (DESIGN.md §14).
+type Journal = journal.Journal
+
+// OpenJournal opens (or creates) the crash journal under dir, recovering
+// torn tails and quarantining corrupt segments. The caller owns it: close it
+// after the service and campaign manager that write through it.
+func OpenJournal(dir string) (*Journal, error) { return journal.Open(dir) }
+
+// NewCampaignManagerJournaled is NewCampaignManager with crash journaling:
+// campaigns checkpoint each wave through jnl and ResumeFromJournal relaunches
+// whatever a previous process left unfinished.
+func NewCampaignManagerJournaled(svc *SimService, jnl *Journal) *CampaignManager {
+	return campaign.NewManagerJournaled(svc, jnl)
+}
 
 // CampaignHandler layers the campaign API (POST /v1/campaigns, GET
 // /v1/campaigns/{id}, combined /metrics) over the service handler.
