@@ -48,6 +48,7 @@ func lab() *kagura.Lab {
 // runExperiment is the common benchmark body.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	var table kagura.ExperimentTable
 	for i := 0; i < b.N; i++ {
 		res, err := lab().Run(id)
@@ -109,6 +110,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	cfg := kagura.DefaultConfig(app, trace).
 		WithACC(kagura.BDI{}).WithKagura(kagura.DefaultController())
+	b.ReportAllocs()
 	b.ResetTimer()
 	var committed int64
 	for i := 0; i < b.N; i++ {
@@ -119,6 +121,52 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		committed += res.Committed
 	}
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
+	if b.N > 0 {
+		b.ReportMetric(float64(committed)/float64(b.N), "instrs/op")
+	}
+}
+
+// BenchmarkSimCore isolates the simulator inner loop (instruction run loop +
+// codec size probes on every fill and writeback) per codec and per design —
+// the perf trajectory BENCH_simcore.json records and the CI benchmark-
+// regression gate (cmd/kagura-benchgate) enforces. The jpeg workload is
+// memory-bound and highly compressible, so the codec path dominates; the two
+// designs cover the checkpoint-heavy (NVSRAMCache) and rollback (SweepCache)
+// crash-consistency variants.
+func BenchmarkSimCore(b *testing.B) {
+	app, err := kagura.Workload("jpeg", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := kagura.Trace("RFHome", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range kagura.Compressors() {
+		codec, err := kagura.Compressor(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, design := range []kagura.Design{kagura.NVSRAMCache, kagura.SweepCache} {
+			b.Run(codec.Name()+"/"+design.String(), func(b *testing.B) {
+				cfg := kagura.DefaultConfig(app, trace).
+					WithACC(codec).WithKagura(kagura.DefaultController())
+				cfg.Design = design
+				b.ReportAllocs()
+				b.ResetTimer()
+				var committed int64
+				for i := 0; i < b.N; i++ {
+					res, err := kagura.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					committed += res.Committed
+				}
+				b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
+				b.ReportMetric(float64(committed)/float64(b.N), "instrs/op")
+			})
+		}
+	}
 }
 
 // benchSweepSpecs returns a base spec plus its R_thres-policy sweep variants

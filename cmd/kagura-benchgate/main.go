@@ -1,0 +1,198 @@
+// Command kagura-benchgate compares a `go test -bench` run against the
+// checked-in BENCH_simcore.json perf snapshot and fails on regressions —
+// the CI benchmark-regression gate for the simulator's inner loop
+// (DESIGN.md §15).
+//
+// Usage:
+//
+//	go test . -run='^$' -bench='...' -benchtime=10x -benchmem | \
+//	    kagura-benchgate -snapshot BENCH_simcore.json
+//
+// The bench output (any number of concatenated runs) is read from stdin or
+// from a file given with -input. For every benchmark present in both the
+// run and the snapshot, two checks apply, each with the same relative
+// tolerance (-tolerance, default 0.15):
+//
+//   - Throughput: the run's instrs/s must not fall more than the tolerance
+//     below the snapshot's (benchmarks without an instrs/s metric gate on
+//     ns/op growth instead).
+//   - Allocations: the run's allocs/op must not exceed the snapshot's by
+//     more than the tolerance. A snapshot value of zero is a hard budget:
+//     any allocation fails.
+//
+// Benchmarks in the snapshot but missing from the run are skipped (CI may
+// gate a subset); a run that matches nothing at all is an error, so a typo
+// in the -bench pattern cannot silently pass the gate. Exit status: 0
+// clean, 1 regression or no overlap, 2 usage/parse failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// snapshotFile mirrors the BENCH_simcore.json layout (extra fields ignored).
+type snapshotFile struct {
+	Benchmarks []snapshotBench `json:"benchmarks"`
+}
+
+type snapshotBench struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	AllocsPerOp float64            `json:"allocsPerOp"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// benchResult is one parsed `go test -bench` output line.
+type benchResult struct {
+	name    string
+	nsPerOp float64
+	allocs  float64
+	metrics map[string]float64
+}
+
+// parseBenchLine parses one line of `go test -bench` output, returning
+// ok=false for non-benchmark lines (headers, PASS, table output).
+// Format: Benchmark<Name>[-P] <iterations> {<value> <unit>}...
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends on parallel hosts.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{name: name, allocs: -1, metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.nsPerOp = v
+		case "allocs/op":
+			r.allocs = v
+		case "B/op":
+			// tracked via allocs/op; byte counts stay informational
+		default:
+			r.metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+// parseBenchOutput scans bench output (possibly several concatenated runs)
+// into results keyed by benchmark name. Repeated names keep the last run.
+func parseBenchOutput(in io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseBenchLine(sc.Text()); ok {
+			out[r.name] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate compares run results against the snapshot and returns the list of
+// regression descriptions plus how many benchmarks overlapped.
+func gate(snap []snapshotBench, run map[string]benchResult, tol float64) (regressions []string, matched int) {
+	for _, s := range snap {
+		r, ok := run[s.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		// Throughput: prefer the host-rate metric; fall back to ns/op.
+		if want, ok := s.Metrics["instrs/s"]; ok && want > 0 {
+			if got, ok := r.metrics["instrs/s"]; ok && got < want*(1-tol) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: throughput %0.f instrs/s, snapshot %0.f (-%0.f%% > %0.f%% tolerance)",
+						s.Name, got, want, 100*(1-got/want), 100*tol))
+			}
+		} else if s.NsPerOp > 0 && r.nsPerOp > s.NsPerOp*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %0.2f ns/op, snapshot %0.2f (+%0.f%% > %0.f%% tolerance)",
+					s.Name, r.nsPerOp, s.NsPerOp, 100*(r.nsPerOp/s.NsPerOp-1), 100*tol))
+		}
+		// Allocations: zero is a hard budget, otherwise the tolerance applies.
+		if r.allocs < 0 {
+			continue // run lacked -benchmem; nothing to check
+		}
+		if s.AllocsPerOp == 0 { //kagura:allow floateq zero allocs is an exact budget, not a measurement
+			if r.allocs > 0 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %0.f allocs/op, snapshot budget is zero", s.Name, r.allocs))
+			}
+		} else if r.allocs > s.AllocsPerOp*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %0.f allocs/op, snapshot %0.f (+%0.f%% > %0.f%% tolerance)",
+					s.Name, r.allocs, s.AllocsPerOp, 100*(r.allocs/s.AllocsPerOp-1), 100*tol))
+		}
+	}
+	return regressions, matched
+}
+
+func main() {
+	snapPath := flag.String("snapshot", "BENCH_simcore.json", "recorded benchmark snapshot to gate against")
+	input := flag.String("input", "-", "bench output file ('-' = stdin)")
+	tol := flag.Float64("tolerance", 0.15, "relative regression tolerance")
+	flag.Parse()
+
+	blob, err := os.ReadFile(*snapPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kagura-benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "kagura-benchgate: parse %s: %v\n", *snapPath, err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kagura-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kagura-benchgate: read bench output: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressions, matched := gate(snap.Benchmarks, run, *tol)
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "kagura-benchgate: no benchmark in the input matches %s — check the -bench pattern\n", *snapPath)
+		os.Exit(1)
+	}
+	fmt.Printf("kagura-benchgate: %d benchmark(s) compared against %s (tolerance %0.f%%)\n",
+		matched, *snapPath, 100**tol)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("kagura-benchgate: OK")
+}

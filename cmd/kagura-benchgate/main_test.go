@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: kagura
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput 	      10	   8284947 ns/op	    119983 instrs/op	  14482751 instrs/s	  176224 B/op	     110 allocs/op
+BenchmarkSimCore/BDI/NVSRAMCache-4         	      10	   5677607 ns/op	     59992 instrs/op	  10567067 instrs/s	  179536 B/op	     119 allocs/op
+BenchmarkFillWriteback/BDI          	 9318690	       133.9 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	kagura	1.1s
+`
+
+func testSnapshot() []snapshotBench {
+	return []snapshotBench{
+		{Name: "BenchmarkSimulatorThroughput", NsPerOp: 8284947, AllocsPerOp: 110,
+			Metrics: map[string]float64{"instrs/s": 14482751}},
+		{Name: "BenchmarkSimCore/BDI/NVSRAMCache", NsPerOp: 5677607, AllocsPerOp: 119,
+			Metrics: map[string]float64{"instrs/s": 10567067}},
+		{Name: "BenchmarkFillWriteback/BDI", NsPerOp: 133.9, AllocsPerOp: 0},
+		{Name: "BenchmarkNotRunInCI", NsPerOp: 1, AllocsPerOp: 1},
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	run, err := parseBenchOutput(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(run), run)
+	}
+	st := run["BenchmarkSimulatorThroughput"]
+	if st.metrics["instrs/s"] != 14482751 || st.allocs != 110 || st.nsPerOp != 8284947 { //kagura:allow floateq parsed values are exact
+		t.Fatalf("throughput line parsed wrong: %+v", st)
+	}
+	// The -4 GOMAXPROCS suffix must strip, the /sub/names must survive.
+	if _, ok := run["BenchmarkSimCore/BDI/NVSRAMCache"]; !ok {
+		t.Fatalf("suffixed sub-benchmark not normalized: %+v", run)
+	}
+}
+
+func TestGateCleanRun(t *testing.T) {
+	run, _ := parseBenchOutput(strings.NewReader(sampleRun))
+	regs, matched := gate(testSnapshot(), run, 0.15)
+	if matched != 3 {
+		t.Fatalf("matched %d, want 3 (absent benchmarks skip)", matched)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+func TestGateThroughputRegression(t *testing.T) {
+	// 20% slower than the snapshot: outside the 15% tolerance.
+	slow := strings.Replace(sampleRun, "14482751 instrs/s", "11586200 instrs/s", 1)
+	run, _ := parseBenchOutput(strings.NewReader(slow))
+	regs, _ := gate(testSnapshot(), run, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "throughput") {
+		t.Fatalf("throughput regression not caught: %v", regs)
+	}
+	// The same run passes a looser gate.
+	if regs, _ := gate(testSnapshot(), run, 0.25); len(regs) != 0 {
+		t.Fatalf("25%% tolerance should absorb a 20%% dip: %v", regs)
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	// Zero-alloc budget is hard: one allocation fails regardless of tolerance.
+	leaky := strings.Replace(sampleRun, "0 B/op	       0 allocs/op", "32 B/op	       1 allocs/op", 1)
+	run, _ := parseBenchOutput(strings.NewReader(leaky))
+	regs, _ := gate(testSnapshot(), run, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "budget is zero") {
+		t.Fatalf("zero-budget alloc regression not caught: %v", regs)
+	}
+	// Non-zero snapshots get the relative tolerance: 110 -> 130 is ~18%.
+	bloat := strings.Replace(sampleRun, "110 allocs/op", "130 allocs/op", 1)
+	run, _ = parseBenchOutput(strings.NewReader(bloat))
+	regs, _ = gate(testSnapshot(), run, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("alloc growth regression not caught: %v", regs)
+	}
+}
+
+func TestGateNsPerOpFallback(t *testing.T) {
+	// FillWriteback has no instrs/s metric: ns/op growth gates instead.
+	slow := strings.Replace(sampleRun, "133.9 ns/op", "200.0 ns/op", 1)
+	run, _ := parseBenchOutput(strings.NewReader(slow))
+	regs, _ := gate(testSnapshot(), run, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("ns/op regression not caught: %v", regs)
+	}
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"testing"
+
+	"kagura/internal/compress"
+)
+
+// BenchmarkFillWriteback measures the simulator's fill/writeback inner path:
+// every op misses, probes the codec for the compressed size, fills, and
+// displaces a dirty victim that must be consumed for writeback. This is the
+// per-instruction cache cost BENCH_simcore.json tracks and the CI
+// benchmark-regression gate (cmd/kagura-benchgate) enforces — allocs/op here
+// is the headline number (budget: zero in steady state).
+func BenchmarkFillWriteback(b *testing.B) {
+	codecs := []struct {
+		name  string
+		codec compress.Codec
+	}{
+		{"none", nil},
+		{"BDI", compress.BDI{}},
+		{"FPC", compress.FPC{}},
+		{"C-Pack", compress.CPack{}},
+		{"DZC", compress.DZC{}},
+	}
+	for _, tc := range codecs {
+		b.Run(tc.name, func(b *testing.B) {
+			c := New(DefaultConfig(tc.name, tc.codec))
+			blocks := make([][]byte, 8)
+			for i := range blocks {
+				blocks[i] = mkBlock(byte(i))
+			}
+			tryCompress := tc.codec != nil
+			// Warm every set past its steady-state footprint so the
+			// measured loop sees only dirty evictions, no cold growth.
+			for i := uint32(0); i < 64; i++ {
+				c.Fill(i*32, blocks[i%8], true, tryCompress, false, int64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			addr := uint32(64 * 32)
+			now := int64(64)
+			var sink byte
+			for i := 0; i < b.N; i++ {
+				fr := c.Fill(addr, blocks[int(addr/32)%8], true, tryCompress, false, now)
+				for _, v := range fr.Evicted {
+					if v.Dirty && len(v.Data) > 0 {
+						sink ^= v.Data[0] // consume the writeback like the simulator does
+					}
+				}
+				addr += 32
+				now++
+			}
+			if sink == 255 {
+				b.Log(sink)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessReadHit measures the read-hit path (one MRU hit per op),
+// the single most frequent cache operation in the run loop.
+func BenchmarkAccessReadHit(b *testing.B) {
+	c := New(DefaultConfig("hit", compress.BDI{}))
+	c.Fill(0x000, mkBlock(1), false, true, false, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x000, false, nil, true, int64(i))
+	}
+}

@@ -22,6 +22,7 @@
 package cache
 
 import (
+	"bytes"
 	"fmt"
 
 	"kagura/internal/compress"
@@ -100,10 +101,17 @@ func (c Config) Validate() error {
 }
 
 // Victim describes a block displaced from the cache.
+//
+// Data is populated only for dirty victims (clean blocks need no writeback,
+// so their contents are never materialized). The bytes live in a per-cache
+// scratch arena that is recycled by the next cache operation: consume or copy
+// them before touching the cache again. Every victim slice the cache returns
+// (Result.Evicted, FillResult.Evicted, DecaySweep, DirtyBlocks) shares the
+// same recycling contract.
 type Victim struct {
 	Addr          uint32 // block base address
 	Dirty         bool   // needs writeback to NVM
-	Data          []byte // block contents (always raw bytes)
+	Data          []byte // raw block contents; nil unless Dirty
 	WasCompressed bool   // stored compressed at eviction time (decompression needed)
 }
 
@@ -193,12 +201,49 @@ type line struct {
 type set struct {
 	lines []line // fixed capacity TagFactor*Ways
 	order []int  // line indices, MRU first; only valid lines appear
+	used  int    // data segments of valid lines (incremental usedSegments)
 	// shadow holds the addresses of recently evicted blocks (the extra tag
 	// entries of the VSC organization, kept live even after their data is
 	// gone). A miss that hits a shadow tag is an "avoidable miss": the block
 	// would still be resident had compression stretched capacity — the
 	// recovery signal for ACC's predictor.
 	shadow []uint32
+}
+
+// codecKind identifies the concrete codec type so the per-fill size probe can
+// dispatch statically (and inline) instead of through the Codec interface.
+type codecKind uint8
+
+const (
+	codecNone    codecKind = iota // no codec configured
+	codecGeneric                  // codec outside the built-in set: interface dispatch
+	codecBDI
+	codecFPC
+	codecCPack
+	codecDZC
+	codecBPC
+	codecFVC
+)
+
+// codecKindOf classifies a codec for static dispatch.
+func codecKindOf(c compress.Codec) codecKind {
+	switch c.(type) {
+	case nil:
+		return codecNone
+	case compress.BDI:
+		return codecBDI
+	case compress.FPC:
+		return codecFPC
+	case compress.CPack:
+		return codecCPack
+	case compress.DZC:
+		return codecDZC
+	case compress.BPC:
+		return codecBPC
+	case compress.FVC:
+		return codecFVC
+	}
+	return codecGeneric
 }
 
 // Cache is a set-associative, write-back, write-allocate cache with optional
@@ -211,7 +256,54 @@ type Cache struct {
 	segPerBlock int // segments of an uncompressed block
 	stats       Stats
 	victimSeed  uint64 // deterministic stream for ReplRandom
+
+	// Derived hot-path state, set once in New (never snapshotted: Restore
+	// only carries mutable organization, so these survive checkpoints).
+	kind      codecKind // devirtualized codec identity for size probes
+	shadowCap int       // shadow-tag capacity per set
+	pow2      bool      // shift/mask address decomposition is valid
+	blockMask uint32    // BlockSize-1 when pow2
+	blockBits uint32    // log2(BlockSize) when pow2
+	setMask   uint32    // numSets-1 when pow2
+
+	// Victim scratch, recycled at the start of every exported mutating
+	// operation: victims holds the records handed back to callers, arena
+	// backs their Data. Both stay valid until the next cache operation.
+	victims []Victim
+	arena   []byte
+
+	// mruLine caches the line of the last successful ReadHitMRU so a repeat
+	// read of the same block (sequential fetches through a block) skips the
+	// set/order/line pointer chase. Only mutating operations can change which
+	// line is MRU or invalidate it, and they all pass through beginOp (or
+	// Restore/InvalidateAll), which resets mruBase to the noMRU sentinel —
+	// never a real base, since block bases are aligned to BlockSize ≥ 2.
+	mruLine *line
+	mruBase uint32
+
+	// probeMemo is a direct-mapped, content-validated memo of the per-block
+	// size probe. compressedSegments is a pure function of the block bytes,
+	// so an entry is served only when the stored content byte-compares equal
+	// to the input — correct by construction, no invalidation needed. nil
+	// when the geometry or codec makes memoization pointless.
+	probeMemo []probeEntry
 }
+
+// probeEntry is one probeMemo slot. data holds the block content the stored
+// (segs, ok) result was computed from.
+type probeEntry struct {
+	addr  uint32
+	valid bool
+	ok    bool
+	segs  int32
+	data  [64]byte
+}
+
+// probeMemoSize is the number of direct-mapped probeMemo slots per cache.
+const probeMemoSize = 1024
+
+// noMRU marks the MRU micro-cache invalid: all-ones is never a block base.
+const noMRU = ^uint32(0)
 
 // New constructs a cache. It panics on invalid configuration (programming
 // error, not runtime condition).
@@ -226,16 +318,65 @@ func New(cfg Config) *Cache {
 		segPerSet:   cfg.Ways * cfg.BlockSize / cfg.SegmentBytes,
 		segPerBlock: cfg.BlockSize / cfg.SegmentBytes,
 		sets:        make([]set, numSets),
+		kind:        codecKindOf(cfg.Codec),
+		mruBase:     noMRU,
+	}
+	c.shadowCap = (cfg.TagFactor - 1) * cfg.Ways
+	if c.shadowCap <= 0 {
+		c.shadowCap = cfg.Ways
+	}
+	if isPow2(cfg.BlockSize) && isPow2(numSets) {
+		c.pow2 = true
+		c.blockMask = uint32(cfg.BlockSize - 1)
+		c.blockBits = uint32(log2(cfg.BlockSize))
+		c.setMask = uint32(numSets - 1)
+	}
+	if c.kind != codecNone && c.pow2 && cfg.BlockSize <= len(probeEntry{}.data) {
+		c.probeMemo = make([]probeEntry, probeMemoSize)
 	}
 	maxTags := cfg.TagFactor * cfg.Ways
 	for i := range c.sets {
 		c.sets[i].lines = make([]line, maxTags)
 		c.sets[i].order = make([]int, 0, maxTags)
+		c.sets[i].shadow = make([]uint32, 0, c.shadowCap)
 		for j := range c.sets[i].lines {
 			c.sets[i].lines[j].data = make([]byte, cfg.BlockSize)
 		}
 	}
+	c.victims = make([]Victim, 0, maxTags)
+	c.arena = make([]byte, 0, maxTags*cfg.BlockSize)
 	return c
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// log2 returns floor(log2(v)) for v ≥ 1.
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// beginOp recycles the victim scratch. Every exported operation that can
+// produce victims calls it first, which is what bounds the lifetime of
+// previously returned records (see Victim).
+func (c *Cache) beginOp() {
+	c.victims = c.victims[:0]
+	c.arena = c.arena[:0]
+	c.mruBase = noMRU
+}
+
+// arenaCopy stores a dirty victim's block contents in the scratch arena.
+// Growth happens via append, so slices handed out earlier in the same
+// operation keep pointing at the old backing array and stay intact.
+func (c *Cache) arenaCopy(src []byte) []byte {
+	n := len(c.arena)
+	c.arena = append(c.arena, src...)
+	return c.arena[n:len(c.arena):len(c.arena)]
 }
 
 // Config returns the cache configuration.
@@ -247,13 +388,21 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 // NumSets returns the number of sets.
 func (c *Cache) NumSets() int { return c.numSets }
 
-// blockBase aligns an address to its block.
+// blockBase aligns an address to its block. Power-of-two geometries (the
+// default) take the mask path; the div/mod fallback keeps odd geometries
+// working.
 func (c *Cache) blockBase(addr uint32) uint32 {
+	if c.pow2 {
+		return addr &^ c.blockMask
+	}
 	return addr - addr%uint32(c.cfg.BlockSize)
 }
 
 // setIndex maps a block base to its set.
 func (c *Cache) setIndex(base uint32) int {
+	if c.pow2 {
+		return int(base >> c.blockBits & c.setMask)
+	}
 	return int(base/uint32(c.cfg.BlockSize)) % c.numSets
 }
 
@@ -267,19 +416,19 @@ func (s *set) find(base uint32) int {
 	return -1
 }
 
-// depth returns the LRU stack depth of line idx in s.
-func (s *set) depth(idx int) int {
+// findAt returns the line index and LRU stack depth of base, or (-1, -1).
+// One scan serves lookup, depth reporting, and the subsequent touch.
+func (s *set) findAt(base uint32) (idx, depth int) {
 	for d, v := range s.order {
-		if v == idx {
-			return d
+		if s.lines[v].addr == base {
+			return v, d
 		}
 	}
-	return -1
+	return -1, -1
 }
 
-// touch moves line idx to MRU position.
-func (s *set) touch(idx int) {
-	d := s.depth(idx)
+// touchAt moves line idx, currently at stack depth d, to MRU position.
+func (s *set) touchAt(idx, d int) {
 	if d <= 0 {
 		return
 	}
@@ -287,14 +436,10 @@ func (s *set) touch(idx int) {
 	s.order[0] = idx
 }
 
-// usedSegments sums the data segments of valid lines.
-func (s *set) usedSegments() int {
-	n := 0
-	for _, idx := range s.order {
-		n += s.lines[idx].segments
-	}
-	return n
-}
+// usedSegments returns the data segments of valid lines. The count is
+// maintained incrementally at every segment mutation; checkInvariants
+// re-derives it from scratch to keep the bookkeeping honest.
+func (s *set) usedSegments() int { return s.used }
 
 // freeLine returns an invalid line index, or -1 when all tags are in use.
 func (s *set) freeLine() int {
@@ -328,7 +473,8 @@ func (c *Cache) evictLRU(s *set) Victim {
 	idx := s.order[pos]
 	if pos != len(s.order)-1 {
 		// Move the chosen victim to the tail so the shared teardown applies.
-		s.order = append(append(s.order[:pos:pos], s.order[pos+1:]...), idx)
+		copy(s.order[pos:], s.order[pos+1:])
+		s.order[len(s.order)-1] = idx
 	}
 	ln := &s.lines[idx]
 	v := Victim{
@@ -336,10 +482,14 @@ func (c *Cache) evictLRU(s *set) Victim {
 		Dirty:         ln.dirty,
 		WasCompressed: ln.compressed,
 	}
-	v.Data = append([]byte(nil), ln.data...)
+	if ln.dirty {
+		// Only dirty victims are ever written back; clean ones carry no data.
+		v.Data = c.arenaCopy(ln.data)
+	}
 	ln.valid = false
 	ln.dirty = false
 	ln.compressed = false
+	s.used -= ln.segments
 	ln.segments = 0
 	s.order = s.order[:len(s.order)-1]
 	c.pushShadow(s, v.Addr)
@@ -354,10 +504,6 @@ func (c *Cache) evictLRU(s *set) Victim {
 // shadow capacity is the extra tag space of the compressed organization:
 // (TagFactor−1)×Ways entries, FIFO replacement.
 func (c *Cache) pushShadow(s *set, addr uint32) {
-	capacity := (c.cfg.TagFactor - 1) * c.cfg.Ways
-	if capacity <= 0 {
-		capacity = c.cfg.Ways
-	}
 	for i, sa := range s.shadow {
 		if sa == addr {
 			s.shadow = append(s.shadow[:i], s.shadow[i+1:]...)
@@ -365,8 +511,11 @@ func (c *Cache) pushShadow(s *set, addr uint32) {
 		}
 	}
 	s.shadow = append(s.shadow, addr)
-	if len(s.shadow) > capacity {
-		s.shadow = s.shadow[len(s.shadow)-capacity:]
+	if len(s.shadow) > c.shadowCap {
+		// Shift down in place rather than re-slicing the front away, which
+		// would bleed capacity and force the next append to reallocate.
+		n := copy(s.shadow, s.shadow[len(s.shadow)-c.shadowCap:])
+		s.shadow = s.shadow[:n]
 	}
 }
 
@@ -380,14 +529,61 @@ func (c *Cache) dropShadow(s *set, addr uint32) {
 	}
 }
 
-// compressedSegments runs the codec and converts the claimed byte size to
-// segments. ok is false when the block is incompressible or compression
-// would not save at least one segment.
-func (c *Cache) compressedSegments(data []byte) (int, bool) {
-	if c.cfg.Codec == nil {
+// compressedSize probes the codec's size-only path with static dispatch on
+// the concrete type: the built-in codecs are zero-size structs, so these
+// calls compile to direct (inlinable) calls with no interface method lookup
+// and no escape of the block to the heap.
+func (c *Cache) compressedSize(data []byte) (int, bool) {
+	switch c.kind {
+	case codecNone:
 		return 0, false
+	case codecBDI:
+		return compress.BDI{}.CompressedSize(data)
+	case codecFPC:
+		return compress.FPC{}.CompressedSize(data)
+	case codecCPack:
+		return compress.CPack{}.CompressedSize(data)
+	case codecDZC:
+		return compress.DZC{}.CompressedSize(data)
+	case codecBPC:
+		return compress.BPC{}.CompressedSize(data)
+	case codecFVC:
+		return compress.FVC{}.CompressedSize(data)
 	}
-	_, size, ok := c.cfg.Codec.Compress(data)
+	return c.cfg.Codec.CompressedSize(data)
+}
+
+// compressedSegments converts the codec's claimed byte size to segments. ok
+// is false when the block is incompressible or compression would not save at
+// least one segment. The probe is size-only — no encoding is materialized,
+// because the cache stores raw bytes plus a segment count and never the
+// encoding itself. base is the block's address, used only as a memo index:
+// the result is a pure function of data, and a memo entry is served only
+// after its stored content byte-compares equal to data, so the memo can
+// never change an answer — it only skips recomputing one. Refetching an
+// unmodified block (instruction blocks especially) hits the memo.
+func (c *Cache) compressedSegments(base uint32, data []byte) (int, bool) {
+	var e *probeEntry
+	if c.probeMemo != nil {
+		e = &c.probeMemo[(base>>c.blockBits)&(probeMemoSize-1)]
+		if e.valid && e.addr == base && bytes.Equal(e.data[:len(data)], data) {
+			return int(e.segs), e.ok
+		}
+	}
+	segs, ok := c.probeSegments(data)
+	if e != nil {
+		e.addr = base
+		e.valid = true
+		e.ok = ok
+		e.segs = int32(segs)
+		copy(e.data[:], data)
+	}
+	return segs, ok
+}
+
+// probeSegments is the uncached body of compressedSegments.
+func (c *Cache) probeSegments(data []byte) (int, bool) {
+	size, ok := c.compressedSize(data)
 	if !ok {
 		return 0, false
 	}
@@ -407,14 +603,62 @@ func (c *Cache) compressedSegments(data []byte) (int, bool) {
 // enabled) or expanded to uncompressed form (compression disabled — Kagura's
 // RM mode). now is the current cycle, recorded for decay.
 func (c *Cache) Access(addr uint32, write bool, wdata []byte, recompressOnWrite bool, now int64) Result {
+	var res Result
+	c.AccessInto(&res, addr, write, wdata, recompressOnWrite, now)
+	return res
+}
+
+// AccessInto is Access with a caller-provided result record. The simulator
+// performs one or two accesses per instruction; writing into a reusable
+// Result instead of returning ~50 bytes by value is measurable there.
+// ReadHitMRU is the read fast path: if addr hits the set's most-recently-used
+// line, it performs the access — identical stats, recency, and victim-scratch
+// recycling to AccessInto — and reports whether the line is compressed. A
+// depth-0 hit can never be beyond Ways and its LRU promotion is a no-op, so
+// the full result struct is unnecessary. ok=false means the block is not the
+// MRU line; nothing was recorded and the caller must issue the full access.
+func (c *Cache) ReadHitMRU(addr uint32, now int64) (compressed, ok bool) {
+	base := c.blockBase(addr)
+	ln := c.mruLine
+	if c.mruBase != base {
+		s := &c.sets[c.setIndex(base)]
+		if len(s.order) == 0 {
+			return false, false
+		}
+		ln = &s.lines[s.order[0]]
+		if ln.addr != base {
+			return false, false
+		}
+		// Remember the hit: until the next mutating operation (every one
+		// passes through beginOp, Restore, or InvalidateAll, which clear
+		// this), the same block is guaranteed to still be this set's MRU
+		// line, so sequential reads through the block skip the set walk.
+		c.mruLine = ln
+		c.mruBase = base
+	}
+	// No beginOp: a read hit can never produce victims, so any records a
+	// previous operation handed out stay valid across it (the Victim
+	// contract only promises validity until the next op that can evict).
+	c.stats.Accesses++
+	c.stats.Hits++
+	if ln.compressed {
+		c.stats.HitsCompressed++
+		c.stats.Decompressions++
+	}
+	ln.lastUse = now
+	return ln.compressed, true
+}
+
+func (c *Cache) AccessInto(res *Result, addr uint32, write bool, wdata []byte, recompressOnWrite bool, now int64) {
+	c.beginOp()
 	base := c.blockBase(addr)
 	s := &c.sets[c.setIndex(base)]
 	c.stats.Accesses++
 
-	idx := s.find(base)
+	idx, depth := s.findAt(base)
 	if idx < 0 {
 		c.stats.Misses++
-		res := Result{Hit: false, Depth: -1}
+		*res = Result{Hit: false, Depth: -1}
 		for _, sa := range s.shadow {
 			if sa == base {
 				res.ShadowHit = true
@@ -422,10 +666,10 @@ func (c *Cache) Access(addr uint32, write bool, wdata []byte, recompressOnWrite 
 				break
 			}
 		}
-		return res
+		return
 	}
 	ln := &s.lines[idx]
-	res := Result{Hit: true, Depth: s.depth(idx), Compressed: ln.compressed}
+	*res = Result{Hit: true, Depth: depth, Compressed: ln.compressed}
 	c.stats.Hits++
 	if ln.compressed {
 		c.stats.HitsCompressed++
@@ -435,7 +679,7 @@ func (c *Cache) Access(addr uint32, write bool, wdata []byte, recompressOnWrite 
 		c.stats.HitsBeyondWays++
 	}
 	if c.cfg.Replacement == ReplLRU {
-		s.touch(idx) // FIFO/Random never promote on access
+		s.touchAt(idx, depth) // FIFO/Random never promote on access
 	}
 	ln.lastUse = now
 
@@ -448,7 +692,7 @@ func (c *Cache) Access(addr uint32, write bool, wdata []byte, recompressOnWrite 
 				// Decompress–modify–recompress in place.
 				c.stats.Compressions++
 				res.Recompressed = true
-				segs, ok := c.compressedSegments(ln.data)
+				segs, ok := c.compressedSegments(base, ln.data)
 				if !ok {
 					segs = c.segPerBlock
 					ln.compressed = false
@@ -463,14 +707,15 @@ func (c *Cache) Access(addr uint32, write bool, wdata []byte, recompressOnWrite 
 			}
 		}
 	}
-	return res
 }
 
 // resize changes line idx's segment footprint to newSegs, evicting LRU lines
-// (never idx itself) until the set's segment budget holds.
+// (never idx itself) until the set's segment budget holds. Victims accumulate
+// in the per-cache scratch (valid until the next operation).
 func (c *Cache) resize(s *set, idx int, newSegs int) []Victim {
+	s.used += newSegs - s.lines[idx].segments
 	s.lines[idx].segments = newSegs
-	var victims []Victim
+	start := len(c.victims)
 	for s.usedSegments() > c.segPerSet {
 		// Evict from the LRU end, skipping the line being resized.
 		vIdx := -1
@@ -490,9 +735,12 @@ func (c *Cache) resize(s *set, idx int, newSegs int) []Victim {
 		if v.WasCompressed && v.Dirty {
 			c.stats.Decompressions++
 		}
-		victims = append(victims, v)
+		c.victims = append(c.victims, v)
 	}
-	return victims
+	if len(c.victims) == start {
+		return nil
+	}
+	return c.victims[start:]
 }
 
 // Fill inserts the block containing addr after a miss. data is the raw block
@@ -505,6 +753,7 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 	if len(data) != c.cfg.BlockSize {
 		panic(fmt.Sprintf("cache %s: Fill with %dB data, block is %dB", c.cfg.Name, len(data), c.cfg.BlockSize))
 	}
+	c.beginOp()
 	base := c.blockBase(addr)
 	s := &c.sets[c.setIndex(base)]
 	var res FillResult
@@ -526,7 +775,7 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 	compressedStore := false
 	avoidable := false
 	if tryCompress {
-		if cs, ok := c.compressedSegments(data); ok {
+		if cs, ok := c.compressedSegments(base, data); ok {
 			segs = cs
 			compressedStore = true
 			res.Compressions++
@@ -536,7 +785,7 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 		// Compression disabled: check whether storing this block compressed
 		// would have made the fill eviction-free, attributing any evictions
 		// below to the disabled compression.
-		if cs, ok := c.compressedSegments(data); ok && s.usedSegments()+cs <= c.segPerSet {
+		if cs, ok := c.compressedSegments(base, data); ok && s.usedSegments()+cs <= c.segPerSet {
 			avoidable = true
 		}
 	}
@@ -558,7 +807,7 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 		if avoidable {
 			res.AvoidableEvictions++
 		}
-		res.Evicted = append(res.Evicted, v)
+		c.victims = append(c.victims, v)
 	}
 	// Tag pressure: need a free tag entry.
 	idx := s.freeLine()
@@ -568,8 +817,11 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 			c.stats.Decompressions++
 			res.Decompressions++
 		}
-		res.Evicted = append(res.Evicted, v)
+		c.victims = append(c.victims, v)
 		idx = s.freeLine()
+	}
+	if len(c.victims) > 0 {
+		res.Evicted = c.victims
 	}
 
 	c.dropShadow(s, base)
@@ -579,6 +831,7 @@ func (c *Cache) Fill(addr uint32, data []byte, dirty, tryCompress, lowPriority b
 	ln.dirty = dirty
 	ln.compressed = compressedStore
 	ln.segments = segs
+	s.used += segs
 	ln.lastUse = now
 	copy(ln.data, data)
 	if lowPriority {
@@ -606,8 +859,9 @@ func (c *Cache) compactOne(s *set, res *FillResult) bool {
 		if ln.compressed {
 			continue
 		}
-		if segs, ok := c.compressedSegments(ln.data); ok && segs < ln.segments {
+		if segs, ok := c.compressedSegments(ln.addr, ln.data); ok && segs < ln.segments {
 			ln.compressed = true
+			s.used -= ln.segments - segs
 			ln.segments = segs
 			res.Compressions++
 			c.stats.Compressions++
@@ -639,24 +893,29 @@ func (c *Cache) ReadBlock(addr uint32, dst []byte) bool {
 }
 
 // DirtyBlocks returns a victim record for every dirty resident block — the
-// set a JIT checkpoint must flush. Blocks remain resident and dirty.
+// set a JIT checkpoint must flush. Blocks remain resident and dirty. The
+// returned records live in the per-cache scratch: consume them before the
+// next cache operation.
 func (c *Cache) DirtyBlocks() []Victim {
-	var out []Victim
+	c.beginOp()
 	for si := range c.sets {
 		s := &c.sets[si]
 		for _, idx := range s.order {
 			ln := &s.lines[idx]
 			if ln.dirty {
-				out = append(out, Victim{
+				c.victims = append(c.victims, Victim{
 					Addr:          ln.addr,
 					Dirty:         true,
-					Data:          append([]byte(nil), ln.data...),
+					Data:          c.arenaCopy(ln.data),
 					WasCompressed: ln.compressed,
 				})
 			}
 		}
 	}
-	return out
+	if len(c.victims) == 0 {
+		return nil
+	}
+	return c.victims
 }
 
 // CleanAll clears dirty bits after a checkpoint flushed them.
@@ -673,6 +932,7 @@ func (c *Cache) CleanAll() {
 // It does NOT flush dirty data — call DirtyBlocks first if consistency
 // requires it.
 func (c *Cache) InvalidateAll() {
+	c.mruBase = noMRU
 	for si := range c.sets {
 		s := &c.sets[si]
 		for i := range s.lines {
@@ -681,6 +941,7 @@ func (c *Cache) InvalidateAll() {
 			s.lines[i].compressed = false
 			s.lines[i].segments = 0
 		}
+		s.used = 0
 		s.order = s.order[:0]
 		s.shadow = s.shadow[:0]
 	}
@@ -703,7 +964,7 @@ func (c *Cache) LiveBytes() int { return c.LiveBlocks() * c.cfg.BlockSize }
 // more than interval cycles is evicted (dirty ones are returned for
 // writeback). Dead lines stop leaking and shrink checkpoints.
 func (c *Cache) DecaySweep(now, interval int64) []Victim {
-	var victims []Victim
+	c.beginOp()
 	for si := range c.sets {
 		s := &c.sets[si]
 		for i := len(s.order) - 1; i >= 0; i-- {
@@ -712,26 +973,31 @@ func (c *Cache) DecaySweep(now, interval int64) []Victim {
 			if now-ln.lastUse <= interval {
 				continue
 			}
-			v := Victim{
-				Addr:          ln.addr,
-				Dirty:         ln.dirty,
-				Data:          append([]byte(nil), ln.data...),
-				WasCompressed: ln.compressed,
+			if ln.dirty {
+				// Only dirty decays are reported (they need writeback);
+				// clean dead lines vanish without materializing data.
+				c.victims = append(c.victims, Victim{
+					Addr:          ln.addr,
+					Dirty:         true,
+					Data:          c.arenaCopy(ln.data),
+					WasCompressed: ln.compressed,
+				})
+				c.stats.DirtyEvictions++
 			}
 			ln.valid = false
 			ln.dirty = false
 			ln.compressed = false
+			s.used -= ln.segments
 			ln.segments = 0
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			c.stats.DecayEvictions++
 			c.stats.Evictions++
-			if v.Dirty {
-				c.stats.DirtyEvictions++
-				victims = append(victims, v)
-			}
 		}
 	}
-	return victims
+	if len(c.victims) == 0 {
+		return nil
+	}
+	return c.victims
 }
 
 // checkInvariants validates internal consistency; tests call it after
@@ -739,6 +1005,13 @@ func (c *Cache) DecaySweep(now, interval int64) []Victim {
 func (c *Cache) checkInvariants() error {
 	for si := range c.sets {
 		s := &c.sets[si]
+		recount := 0
+		for _, idx := range s.order {
+			recount += s.lines[idx].segments
+		}
+		if recount != s.used {
+			return fmt.Errorf("set %d: incremental segment count %d, actual %d", si, s.used, recount)
+		}
 		if s.usedSegments() > c.segPerSet {
 			return fmt.Errorf("set %d: %d segments used, budget %d", si, s.usedSegments(), c.segPerSet)
 		}

@@ -78,6 +78,7 @@ func (c *Cache) Restore(st State) error {
 	if err := c.validateState(st); err != nil {
 		return err
 	}
+	c.mruBase = noMRU
 	for si := range c.sets {
 		s := &c.sets[si]
 		ss := &st.Sets[si]
@@ -101,6 +102,10 @@ func (c *Cache) Restore(st State) error {
 		}
 		s.order = append(s.order[:0], ss.Order...)
 		s.shadow = append(s.shadow[:0], ss.Shadow...)
+		s.used = 0
+		for _, idx := range s.order {
+			s.used += s.lines[idx].segments
+		}
 	}
 	c.stats = st.Stats
 	c.victimSeed = st.VictimSeed

@@ -105,6 +105,15 @@ type State struct {
 	energy    float64 // joules stored above 0V
 	leaked    float64 // cumulative leakage, joules
 	harvested float64 // cumulative absorbed harvest, joules
+
+	// Threshold energies, derived once from the immutable Config. The
+	// simulator compares against these on every instruction (BelowCheckpoint,
+	// HeadroomAboveCheckpoint) and every harvest; caching the energyAt
+	// results keeps those comparisons multiplication-free. The cached values
+	// are bit-identical to recomputing energyAt, so results do not change.
+	eMax  float64 // energyAt(VMax): the Harvest ceiling
+	eRst  float64 // energyAt(VRst): the reboot threshold
+	eCkpt float64 // energyAt(VCkpt): the checkpoint threshold
 }
 
 // New returns a capacitor charged to V_rst, ready for first boot.
@@ -112,7 +121,13 @@ func New(cfg Config) (*State, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &State{cfg: cfg, energy: cfg.energyAt(cfg.VRst)}, nil
+	return &State{
+		cfg:    cfg,
+		energy: cfg.energyAt(cfg.VRst),
+		eMax:   cfg.energyAt(cfg.VMax),
+		eRst:   cfg.energyAt(cfg.VRst),
+		eCkpt:  cfg.energyAt(cfg.VCkpt),
+	}, nil
 }
 
 // Config returns the configuration.
@@ -135,8 +150,13 @@ func (s *State) Harvest(joules float64) float64 {
 	if joules <= 0 {
 		return 0
 	}
-	ceiling := s.cfg.energyAt(s.cfg.VMax)
-	absorbed := math.Min(joules, ceiling-s.energy)
+	// Branchy min instead of math.Min: the NaN/signed-zero handling of the
+	// intrinsic is irrelevant here (joules > 0, headroom finite) and the
+	// call is on the simulator's per-instruction path.
+	absorbed := joules
+	if head := s.eMax - s.energy; head < absorbed {
+		absorbed = head
+	}
 	if absorbed < 0 {
 		absorbed = 0
 	}
@@ -199,8 +219,8 @@ func (s *State) Restore(snap Snapshot) error {
 		snap.Energy < 0 || snap.Leaked < 0 || snap.Harvested < 0 {
 		return fmt.Errorf("capacitor: invalid snapshot energies %+v", snap)
 	}
-	if ceiling := s.cfg.energyAt(s.cfg.VMax); snap.Energy > ceiling {
-		snap.Energy = ceiling
+	if snap.Energy > s.eMax {
+		snap.Energy = s.eMax
 	}
 	s.energy = snap.Energy
 	s.leaked = snap.Leaked
@@ -210,19 +230,19 @@ func (s *State) Restore(snap Snapshot) error {
 
 // BelowCheckpoint reports whether the voltage monitor would fire (V ≤ V_ckpt).
 func (s *State) BelowCheckpoint() bool {
-	return s.energy <= s.cfg.energyAt(s.cfg.VCkpt)
+	return s.energy <= s.eCkpt
 }
 
 // AboveRestore reports whether the system may reboot (V ≥ V_rst).
 func (s *State) AboveRestore() bool {
-	return s.energy >= s.cfg.energyAt(s.cfg.VRst)
+	return s.energy >= s.eRst
 }
 
 // HeadroomAboveCheckpoint returns the energy remaining before the voltage
 // monitor fires; zero when already at/below the threshold. Voltage-based
 // Kagura triggers compare this headroom against a margin.
 func (s *State) HeadroomAboveCheckpoint() float64 {
-	h := s.energy - s.cfg.energyAt(s.cfg.VCkpt)
+	h := s.energy - s.eCkpt
 	if h < 0 {
 		return 0
 	}

@@ -134,6 +134,125 @@ func (BDI) Compress(block []byte) ([]byte, int, bool) {
 	return best, len(best), true
 }
 
+// CompressedSize reports the size Compress would claim without building an
+// encoding. A base-delta encoding's length is fully determined by its scheme
+// and the block size (header + mask + base + one delta per word), so only
+// feasibility needs the data scan. This is the simulator's per-fill probe:
+// the zero/rep checks share one scan, and each base width evaluates all of
+// its delta widths in a single pass (instead of one pass per scheme), with
+// no allocation anywhere.
+func (BDI) CompressedSize(block []byte) (int, bool) {
+	n := len(block)
+	if n == 0 || n%8 != 0 {
+		return 0, false
+	}
+
+	// All-zero and repeated-8-byte checks, one scan.
+	first := binary.LittleEndian.Uint64(block)
+	allZero, rep := first == 0, true
+	for off := 8; off < n; off += 8 {
+		w := binary.LittleEndian.Uint64(block[off:])
+		if w != 0 {
+			allZero = false
+		}
+		if w != first {
+			rep = false
+		}
+		if !allZero && !rep {
+			break
+		}
+	}
+	if allZero {
+		return 1, true
+	}
+	if rep {
+		return 9, true
+	}
+
+	best := n
+	if size, ok := bdiKSize(block, 8, [3]int{1, 2, 4}, 3, best); ok {
+		best = size
+	}
+	if size, ok := bdiKSize(block, 4, [3]int{1, 2}, 2, best); ok {
+		best = size
+	}
+	if size, ok := bdiKSize(block, 2, [3]int{1}, 1, best); ok {
+		best = size
+	}
+	if best >= n {
+		return 0, false
+	}
+	return best, true
+}
+
+// bdiKSize runs the feasibility machines for every delta width of one base
+// width in a single pass over the block and returns the smallest valid
+// encoding length for that base width, provided it beats limit (lanes whose
+// fixed size is ≥ limit cannot improve the caller's running minimum, so they
+// start dead — for 32-byte blocks a successful 8/1 scheme rules out every
+// 4- and 2-byte-base scheme without touching the data). The per-lane state
+// mirrors bdiTryScheme exactly: the base is the first word that does not fit
+// as an immediate — which differs per delta width, hence per-lane bases. ds
+// must be ascending; lanes beyond nd are ignored.
+func bdiKSize(block []byte, k int, ds [3]int, nd int, limit int) (int, bool) {
+	n := len(block)
+	words := n / k
+	overhead := 1 + (words+7)/8 + k
+	var ok, haveBase [3]bool
+	var base, lo, hi [3]int64
+	live := 0
+	for j := 0; j < nd; j++ {
+		if overhead+words*ds[j] >= limit {
+			break // ds ascending ⇒ every later lane is at least as big
+		}
+		ok[j] = true
+		lo[j] = int64(-1) << uint(8*ds[j]-1)
+		hi[j] = -lo[j] - 1
+		live++
+	}
+	if live == 0 {
+		return 0, false
+	}
+	nd = live
+	// A word inside the narrowest lane's immediate range is an immediate in
+	// every lane (the ranges nest), so the common compressible word costs one
+	// compare pair instead of a lane walk.
+	lo0, hi0 := lo[0], hi[0]
+	for off := 0; off < n; off += k {
+		sw := signK(loadWord(block[off:], k), k)
+		if sw >= lo0 && sw <= hi0 {
+			continue
+		}
+		for j := 0; j < nd; j++ {
+			if !ok[j] {
+				continue
+			}
+			if sw >= lo[j] && sw <= hi[j] {
+				continue // immediate from the implicit zero base
+			}
+			if !haveBase[j] {
+				haveBase[j] = true
+				base[j] = sw
+				continue
+			}
+			if d := sw - base[j]; d < lo[j] || d > hi[j] {
+				ok[j] = false
+				live--
+			}
+		}
+		if live == 0 {
+			return 0, false
+		}
+	}
+	for j := 0; j < nd; j++ {
+		if ok[j] {
+			// ds ascending ⇒ the first valid lane is the smallest encoding.
+			return overhead + words*ds[j], true
+		}
+	}
+	return 0, false
+}
+
 // bdiTryScheme attempts one base-delta geometry. The base is the first word
 // that does not fit as an immediate from the implicit zero base, matching the
 // hardware's single-pass base selection.

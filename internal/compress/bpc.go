@@ -134,6 +134,64 @@ func (BPC) Compress(block []byte) ([]byte, int, bool) {
 	return w.bytes(), size, true
 }
 
+// CompressedSize counts the encoded bits of the block without materializing
+// the bit stream: the same plane walk and encoding-table choices as Compress,
+// with field widths summed instead of written. The plane array lives on the
+// stack, so the probe is allocation-free.
+func (BPC) CompressedSize(block []byte) (int, bool) {
+	deltas, ok := bpcGeometry(len(block))
+	if !ok {
+		return 0, false
+	}
+	dbp := bpcPlanesOf(block, deltas)
+	planeMask := uint64(1)<<uint(deltas) - 1
+
+	bits := 1
+	if word32(block, 0) != 0 {
+		bits += 32
+	}
+	posBits := bitsFor(deltas)
+	for p := bpcPlanes - 1; p >= 0; {
+		var dbx uint64
+		if p == bpcPlanes-1 {
+			dbx = dbp[p]
+		} else {
+			dbx = dbp[p] ^ dbp[p+1]
+		}
+		if dbx == 0 {
+			run := 1
+			for p-run >= 0 && run < 32 {
+				q := p - run
+				if dbp[q]^dbp[q+1] != 0 {
+					break
+				}
+				run++
+			}
+			bits += 3 + 5
+			p -= run
+			continue
+		}
+		switch {
+		case dbx == planeMask:
+			bits += 5
+		case dbx != 0 && dbp[p] == 0:
+			bits += 5
+		case popcount(dbx) == 1:
+			bits += 5 + posBits
+		case isTwoConsecutive(dbx):
+			bits += 5 + posBits
+		default:
+			bits += 2 + deltas
+		}
+		p--
+	}
+	size := bitsToBytes(bits)
+	if size >= len(block) {
+		return 0, false
+	}
+	return size, true
+}
+
 // Decompress reconstructs a BPC-encoded block.
 func (BPC) Decompress(enc []byte, dst []byte) error {
 	deltas, ok := bpcGeometry(len(dst))

@@ -25,8 +25,16 @@ type Codec interface {
 	// If the block is incompressible under this algorithm, ok is false and
 	// the caller must store the block uncompressed.
 	Compress(block []byte) (enc []byte, size int, ok bool)
+	// CompressedSize returns exactly the (size, ok) pair Compress would
+	// report for the block, without materializing the encoding. It is the
+	// hot-path contract: the simulated cache only ever needs the size (it
+	// stores raw bytes and a segment count), so implementations MUST be
+	// allocation-free — size probes run on every cache fill and writeback.
+	// TestCompressedSizeMatchesCompress pins the equivalence per codec.
+	CompressedSize(block []byte) (size int, ok bool)
 	// Decompress reconstructs the original block into dst (len(dst) must be
-	// the original block size).
+	// the original block size). Implementations must not retain or allocate
+	// beyond dst: callers reuse one scratch block across calls.
 	Decompress(enc []byte, dst []byte) error
 	// CompressLatency and DecompressLatency are per-block latencies in core
 	// cycles.

@@ -111,6 +111,44 @@ func (CPack) Compress(block []byte) ([]byte, int, bool) {
 	return w.bytes(), size, true
 }
 
+// CompressedSize counts the encoded bits of the block without materializing
+// the bit stream. The FIFO dictionary lives on the stack and follows exactly
+// the update rules of Compress, so the code choices — and therefore the size
+// — are identical.
+func (CPack) CompressedSize(block []byte) (int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return 0, false
+	}
+	words := len(block) / 4
+	bits := 0
+	var dict cpackDict
+	for i := 0; i < words; i++ {
+		v := word32(block, i)
+		switch {
+		case v == 0:
+			bits += 2
+		case dict.findFull(v) >= 0:
+			bits += 2 + 4
+		case v>>8 == 0:
+			bits += 4 + 8
+		case dict.findPrefix(v, 24) >= 0:
+			bits += 4 + 4 + 8
+			dict.push(v)
+		case dict.findPrefix(v, 16) >= 0:
+			bits += 4 + 4 + 16
+			dict.push(v)
+		default:
+			bits += 2 + 32
+			dict.push(v)
+		}
+	}
+	size := bitsToBytes(bits)
+	if size >= len(block) {
+		return 0, false
+	}
+	return size, true
+}
+
 // Decompress reconstructs a C-Pack-encoded block, rebuilding the dictionary
 // with the same update rules the compressor used.
 func (CPack) Decompress(enc []byte, dst []byte) error {

@@ -35,6 +35,24 @@ func (DZC) Compress(block []byte) ([]byte, int, bool) {
 	return enc, len(enc), true
 }
 
+// CompressedSize reports the DZC size (bitmap + nonzero literals) without
+// building the encoding.
+func (DZC) CompressedSize(block []byte) (int, bool) {
+	if len(block) == 0 {
+		return 0, false
+	}
+	size := (len(block) + 7) / 8
+	for _, b := range block {
+		if b != 0 {
+			size++
+		}
+	}
+	if size >= len(block) {
+		return 0, false
+	}
+	return size, true
+}
+
 // Decompress expands the bitmap + literal bytes back to the original block.
 func (DZC) Decompress(enc []byte, dst []byte) error {
 	bitmapLen := (len(dst) + 7) / 8

@@ -102,6 +102,51 @@ func (FPC) Compress(block []byte) ([]byte, int, bool) {
 	return w.bytes(), size, true
 }
 
+// CompressedSize counts the encoded bits of the block without materializing
+// the bit stream — the same pattern matches as Compress, prefix + payload
+// widths summed instead of written.
+func (FPC) CompressedSize(block []byte) (int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return 0, false
+	}
+	words := len(block) / 4
+	bits := 0
+	for i := 0; i < words; {
+		v := word32(block, i)
+		if v == 0 {
+			run := 1
+			for i+run < words && run < 8 && word32(block, i+run) == 0 {
+				run++
+			}
+			bits += 3 + 3
+			i += run
+			continue
+		}
+		switch {
+		case fitsSigned(v, 4):
+			bits += 3 + 4
+		case fitsSigned(v, 8):
+			bits += 3 + 8
+		case fitsSigned(v, 16):
+			bits += 3 + 16
+		case v&0xFFFF == 0:
+			bits += 3 + 16
+		case halfFits8(v&0xFFFF) && halfFits8(v>>16):
+			bits += 3 + 16
+		case byte(v) == byte(v>>8) && byte(v) == byte(v>>16) && byte(v) == byte(v>>24):
+			bits += 3 + 8
+		default:
+			bits += 3 + 32
+		}
+		i++
+	}
+	size := bitsToBytes(bits)
+	if size >= len(block) {
+		return 0, false
+	}
+	return size, true
+}
+
 // Decompress reconstructs an FPC-encoded block.
 func (FPC) Decompress(enc []byte, dst []byte) error {
 	if len(dst)%4 != 0 {

@@ -22,20 +22,23 @@ func (FVC) DecompressEnergyScale() float64 { return 0.7 }
 // fvcTableSize is the per-block frequent-value table capacity.
 const fvcTableSize = 3
 
-// Compress encodes the block.
-func (FVC) Compress(block []byte) ([]byte, int, bool) {
-	if len(block) == 0 || len(block)%4 != 0 {
-		return nil, 0, false
-	}
-	words := len(block) / 4
+// fvcMaxWords bounds the stack-backed frequency scratch: 64 words covers
+// blocks up to 256B without heap growth (larger blocks spill via append but
+// stay correct).
+const fvcMaxWords = 64
 
-	// Count value frequencies (blocks are tiny; a simple scan suffices and
-	// mirrors the hardware's comparator tree).
+// fvcTable discovers the block's frequent-value table: up to fvcTableSize
+// values that occur at least twice, most frequent first (stable selection
+// over first-appearance order, mirroring the hardware's comparator tree).
+// The returned count is the table length; the scan is allocation-free for
+// blocks of ≤ fvcMaxWords words.
+func fvcTable(block []byte, words int) (table [fvcTableSize]uint32, n int) {
 	type vc struct {
 		v uint32
 		n int
 	}
-	var counts []vc
+	var countsArr [fvcMaxWords]vc
+	counts := countsArr[:0]
 	for i := 0; i < words; i++ {
 		v := word32(block, i)
 		found := false
@@ -50,9 +53,7 @@ func (FVC) Compress(block []byte) ([]byte, int, bool) {
 			counts = append(counts, vc{v: v, n: 1})
 		}
 	}
-	// Select the top values (stable selection sort; ≤16 candidates).
-	var table []uint32
-	for len(table) < fvcTableSize && len(counts) > 0 {
+	for n < fvcTableSize && len(counts) > 0 {
 		best := 0
 		for j := 1; j < len(counts); j++ {
 			if counts[j].n > counts[best].n {
@@ -62,19 +63,30 @@ func (FVC) Compress(block []byte) ([]byte, int, bool) {
 		if counts[best].n < 2 {
 			break // singleton values gain nothing over literals
 		}
-		table = append(table, counts[best].v)
+		table[n] = counts[best].v
+		n++
 		counts = append(counts[:best], counts[best+1:]...)
 	}
+	return table, n
+}
+
+// Compress encodes the block.
+func (FVC) Compress(block []byte) ([]byte, int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return nil, 0, false
+	}
+	words := len(block) / 4
+	table, n := fvcTable(block, words)
 
 	var w bitWriter
-	w.writeBits(uint32(len(table)), 2)
-	for _, v := range table {
+	w.writeBits(uint32(n), 2)
+	for _, v := range table[:n] {
 		w.writeBits(v, 32)
 	}
 	for i := 0; i < words; i++ {
 		v := word32(block, i)
 		code := fvcTableSize // literal
-		for j, tv := range table {
+		for j, tv := range table[:n] {
 			if tv == v {
 				code = j
 				break
@@ -92,6 +104,37 @@ func (FVC) Compress(block []byte) ([]byte, int, bool) {
 	return w.bytes(), size, true
 }
 
+// CompressedSize counts the encoded bits of the block — header, table, and
+// per-word codes — without materializing the bit stream.
+func (FVC) CompressedSize(block []byte) (int, bool) {
+	if len(block) == 0 || len(block)%4 != 0 {
+		return 0, false
+	}
+	words := len(block) / 4
+	table, n := fvcTable(block, words)
+
+	bits := 2 + 32*n
+	for i := 0; i < words; i++ {
+		v := word32(block, i)
+		bits += 2
+		literal := true
+		for _, tv := range table[:n] {
+			if tv == v {
+				literal = false
+				break
+			}
+		}
+		if literal {
+			bits += 32
+		}
+	}
+	size := bitsToBytes(bits)
+	if size >= len(block) {
+		return 0, false
+	}
+	return size, true
+}
+
 // Decompress reconstructs an FVC-encoded block.
 func (FVC) Decompress(enc []byte, dst []byte) error {
 	if len(dst)%4 != 0 {
@@ -103,8 +146,8 @@ func (FVC) Decompress(enc []byte, dst []byte) error {
 	if n > fvcTableSize {
 		return fmt.Errorf("fvc: table size %d out of range", n)
 	}
-	table := make([]uint32, n)
-	for i := range table {
+	var table [fvcTableSize]uint32
+	for i := 0; i < n; i++ {
 		table[i] = r.readBits(32)
 	}
 	for i := 0; i < words; i++ {

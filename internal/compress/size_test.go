@@ -1,0 +1,128 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kagura/internal/rng"
+)
+
+// checkSizeMatches asserts CompressedSize returns exactly the (size, ok) pair
+// Compress reports for the block — the hot-path contract the simulated cache
+// relies on for byte-identical results.
+func checkSizeMatches(t *testing.T, c Codec, block []byte) {
+	t.Helper()
+	_, wantSize, wantOK := c.Compress(block)
+	gotSize, gotOK := c.CompressedSize(block)
+	if gotOK != wantOK || (wantOK && gotSize != wantSize) {
+		t.Fatalf("%s: CompressedSize = (%d, %v), Compress claims (%d, %v)\nblock: %x",
+			c.Name(), gotSize, gotOK, wantSize, wantOK, block)
+	}
+}
+
+// TestCompressedSizeMatchesCompress runs the structured round-trip corpus —
+// every data shape the codecs target — through both paths for all six codecs.
+func TestCompressedSizeMatchesCompress(t *testing.T) {
+	r := rng.New(99)
+	for _, c := range Extended() {
+		for _, n := range []int{16, 32, 64} {
+			for trial := 0; trial < 50; trial++ {
+				checkSizeMatches(t, c, zeroBlock(n))
+				checkSizeMatches(t, c, narrowIntBlock(n, r))
+				checkSizeMatches(t, c, baseDeltaBlock(n, r))
+				checkSizeMatches(t, c, repeatedBlock(n))
+				checkSizeMatches(t, c, sparseBlock(n, r))
+				checkSizeMatches(t, c, randomBlock(n, r))
+			}
+		}
+		// Degenerate inputs both paths must reject identically.
+		checkSizeMatches(t, c, nil)
+		checkSizeMatches(t, c, make([]byte, 4))
+		checkSizeMatches(t, c, make([]byte, 6))
+		checkSizeMatches(t, c, make([]byte, 12))
+	}
+}
+
+// TestCompressedSizeMatchesCompressQuick drives the same equivalence with
+// property-based random 32-byte blocks (the quick corpus of the round-trip
+// suite).
+func TestCompressedSizeMatchesCompressQuick(t *testing.T) {
+	for _, c := range Extended() {
+		c := c
+		f := func(raw [32]byte) bool {
+			block := raw[:]
+			_, wantSize, wantOK := c.Compress(block)
+			gotSize, gotOK := c.CompressedSize(block)
+			return gotOK == wantOK && (!wantOK || gotSize == wantSize)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestCompressedSizeZeroAlloc proves the size-only path never touches the
+// heap — the allocation budget for the per-fill probe is exactly zero.
+func TestCompressedSizeZeroAlloc(t *testing.T) {
+	r := rng.New(1)
+	blocks := [][]byte{
+		zeroBlock(32), narrowIntBlock(32, r), baseDeltaBlock(32, r),
+		repeatedBlock(32), sparseBlock(32, r), randomBlock(32, r),
+	}
+	for _, c := range Extended() {
+		c := c
+		allocs := testing.AllocsPerRun(200, func() {
+			for _, b := range blocks {
+				c.CompressedSize(b)
+			}
+		})
+		if allocs != 0 { //kagura:allow floateq AllocsPerRun returns an exact integral count
+			t.Errorf("%s: CompressedSize allocates %.1f objects/run, want 0", c.Name(), allocs)
+		}
+	}
+}
+
+// TestDecompressZeroAlloc proves dst-reuse decompression never touches the
+// heap for any codec: one scratch block serves every call.
+func TestDecompressZeroAlloc(t *testing.T) {
+	r := rng.New(2)
+	dst := make([]byte, 32)
+	blocks := [][]byte{narrowIntBlock(32, r), repeatedBlock(32), zeroBlock(32)}
+	for _, c := range Extended() {
+		c := c
+		var enc []byte
+		for _, block := range blocks {
+			if e, _, ok := c.Compress(block); ok {
+				enc = e
+				break
+			}
+		}
+		if enc == nil {
+			t.Fatalf("%s: no corpus block compressible", c.Name())
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := c.Decompress(enc, dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 { //kagura:allow floateq AllocsPerRun returns an exact integral count
+			t.Errorf("%s: Decompress allocates %.1f objects/run, want 0", c.Name(), allocs)
+		}
+	}
+}
+
+func BenchmarkCompressedSize(b *testing.B) {
+	r := rng.New(1)
+	blocks := [][]byte{
+		zeroBlock(32), narrowIntBlock(32, r), baseDeltaBlock(32, r),
+		sparseBlock(32, r), randomBlock(32, r),
+	}
+	for _, c := range All() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.CompressedSize(blocks[i%len(blocks)])
+			}
+		})
+	}
+}

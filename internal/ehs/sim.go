@@ -22,6 +22,7 @@ import (
 	"kagura/internal/capacitor"
 	"kagura/internal/kagura"
 	"kagura/internal/nvm"
+	"kagura/internal/workload"
 )
 
 // Simulator holds the mutable state of one run.
@@ -36,6 +37,8 @@ type Simulator struct {
 	kag  *kagura.Controller
 
 	res Result
+
+	cur workload.Cursor // sequential instruction reader (self-heals on rollback)
 
 	time          int64 // absolute cycles (drives the trace)
 	poweredCycles int64 // cycles spent powered (for CPI accounting)
@@ -52,6 +55,50 @@ type Simulator struct {
 	budget    float64 // capacitor operating budget, for normalized headroom
 	monitored bool    // a voltage monitor is drawing power
 	blockBuf  []byte
+
+	// Codec constants, cached at construction: the inner loop consults these
+	// per event, and an interface method call per instruction is measurable.
+	compLat     int
+	decompLat   int
+	compScale   float64
+	decompScale float64
+
+	// Per-event energies in joules, precomputed from the config once (the
+	// products are bit-identical to computing them inline, just hoisted):
+	// pipeline per instruction, cache access, compress/decompress per block
+	// (codec scale folded in).
+	pipeJ   float64
+	accessJ float64
+	compJ   float64
+	decompJ float64
+
+	// Block-size decomposition for the (shared) block size: mask path when
+	// the size is a power of two (every shipped geometry), div fallback kept
+	// for odd sizes. A uint32 modulo by a non-constant is a hardware divide
+	// on the per-access path otherwise.
+	blockPow2 bool
+	blockMask uint32
+
+	// Voltage-trigger gate: OnVoltageHeadroom ignores the sample unless the
+	// controller runs the voltage trigger, so the per-instruction headroom
+	// division is skipped entirely for every other trigger.
+	voltTrig bool
+
+	// Trace-interval cache: harvested power and end cycle of the interval
+	// containing s.time, valid while s.time stays in
+	// [traceIntEnd-TraceIntervalCycles, traceIntEnd). advance and sleep
+	// re-derive it (two integer divisions and a trace lookup) only when
+	// time crosses an interval boundary or a restore moves it arbitrarily.
+	traceIntEnd int64
+	tracePower  float64
+
+	// accRes is the reusable access-result record (see cache.AccessInto).
+	accRes cache.Result
+
+	// Static leakage watts, hoisted out of advance: otherW never changes;
+	// cacheW is constant unless decay power-gates dead lines.
+	otherW      float64
+	cacheWConst float64
 
 	// fetchBufBase models the fetch path's line buffer: the most recently
 	// decompressed ICache block. Sequential fetches within one block
@@ -85,6 +132,23 @@ func New(cfg Config) (*Simulator, error) {
 		budget:   cfg.Capacitor.OperatingBudget(),
 		blockBuf: make([]byte, cfg.DCache.BlockSize),
 	}
+	s.cur = workload.NewCursor(cfg.App)
+	s.cacheWConst = cfg.Energy.CacheLeakWattsPerByte * float64(cfg.ICache.SizeBytes+cfg.DCache.SizeBytes)
+	s.compScale, s.decompScale = 1, 1
+	if cfg.Codec != nil {
+		s.compLat = cfg.Codec.CompressLatency()
+		s.decompLat = cfg.Codec.DecompressLatency()
+		s.compScale = cfg.Codec.CompressEnergyScale()
+		s.decompScale = cfg.Codec.DecompressEnergyScale()
+	}
+	if bs := uint32(cfg.DCache.BlockSize); bs&(bs-1) == 0 {
+		s.blockPow2 = true
+		s.blockMask = bs - 1
+	}
+	s.pipeJ = pj(cfg.Energy.PipelinePJ)
+	s.accessJ = pj(cfg.Energy.CacheAccessPJ)
+	s.compJ = pj(cfg.Energy.CompressPJ * s.compScale)
+	s.decompJ = pj(cfg.Energy.DecompressPJ * s.decompScale)
 	if cfg.Codec != nil && cfg.UseACC {
 		// GCP weights are energy-derived, as in the analytical model of §III:
 		// an avoided miss saves one NVM block fetch, a penalized hit wastes
@@ -109,6 +173,11 @@ func New(cfg Config) (*Simulator, error) {
 	// voltage trigger forces one onto a monitor-free design (§VIII-H2).
 	s.monitored = cfg.Design.HasMonitor() ||
 		(cfg.Kagura != nil && cfg.Kagura.Trigger == kagura.TriggerVoltage)
+	s.voltTrig = s.kag != nil && cfg.Kagura.Trigger == kagura.TriggerVoltage
+	s.otherW = cfg.Energy.CoreLeakWatts
+	if s.monitored {
+		s.otherW += cfg.Energy.MonitorWatts
+	}
 	s.maxCycles = int64(cfg.MaxSimSeconds / CyclePeriod)
 	return s, nil
 }
@@ -191,31 +260,32 @@ func pj(v float64) float64 { return v * 1e-12 }
 
 // leakWatts returns the powered static draw: core + caches (+ monitor).
 func (s *Simulator) cacheLeakWatts() float64 {
-	icBytes, dcBytes := s.cfg.ICache.SizeBytes, s.cfg.DCache.SizeBytes
 	if s.cfg.DecayInterval > 0 {
 		// EDBP power-gates dead lines: only live lines leak.
-		icBytes, dcBytes = s.ic.LiveBytes(), s.dc.LiveBytes()
+		return s.cfg.Energy.CacheLeakWattsPerByte * float64(s.ic.LiveBytes()+s.dc.LiveBytes())
 	}
-	return s.cfg.Energy.CacheLeakWattsPerByte * float64(icBytes+dcBytes)
+	return s.cacheWConst
 }
 
 // advance moves time forward by n powered cycles: harvesting from the trace,
 // paying static leakage, and leaking the capacitor.
 func (s *Simulator) advance(n int) {
-	otherW := s.cfg.Energy.CoreLeakWatts
-	if s.monitored {
-		otherW += s.cfg.Energy.MonitorWatts
+	otherW := s.otherW
+	cacheW := s.cacheWConst
+	if s.cfg.DecayInterval > 0 {
+		cacheW = s.cacheLeakWatts()
 	}
-	cacheW := s.cacheLeakWatts()
 	remaining := int64(n)
 	for remaining > 0 {
-		interval := s.time / TraceIntervalCycles
-		step := TraceIntervalCycles - s.time%TraceIntervalCycles
+		if s.time >= s.traceIntEnd || s.time < s.traceIntEnd-TraceIntervalCycles {
+			s.refreshTraceInterval()
+		}
+		step := s.traceIntEnd - s.time
 		if step > remaining {
 			step = remaining
 		}
 		dt := float64(step) * CyclePeriod
-		s.cap.Harvest(s.cfg.Trace.Power(interval) * dt)
+		s.cap.Harvest(s.tracePower * dt)
 		s.spend(otherW*dt, &s.res.Energy.Others)
 		s.spend(cacheW*dt, &s.res.Energy.CacheOther)
 		s.cap.Leak(dt)
@@ -225,14 +295,24 @@ func (s *Simulator) advance(n int) {
 	}
 }
 
+// refreshTraceInterval re-derives the trace-interval cache for the interval
+// containing s.time.
+func (s *Simulator) refreshTraceInterval() {
+	interval := s.time / TraceIntervalCycles
+	s.traceIntEnd = (interval + 1) * TraceIntervalCycles
+	s.tracePower = s.cfg.Trace.Power(interval)
+}
+
 // sleep advances time while powered off (only trace charging and capacitor
 // leakage) until the buffer recovers to V_rst or the cutoff hits.
 func (s *Simulator) sleep() {
 	for !s.cap.AboveRestore() && s.time < s.maxCycles {
-		interval := s.time / TraceIntervalCycles
-		step := TraceIntervalCycles - s.time%TraceIntervalCycles
+		if s.time >= s.traceIntEnd || s.time < s.traceIntEnd-TraceIntervalCycles {
+			s.refreshTraceInterval()
+		}
+		step := s.traceIntEnd - s.time
 		dt := float64(step) * CyclePeriod
-		s.cap.Harvest(s.cfg.Trace.Power(interval) * dt)
+		s.cap.Harvest(s.tracePower * dt)
 		s.cap.Leak(dt)
 		s.time += step
 	}
@@ -240,6 +320,9 @@ func (s *Simulator) sleep() {
 
 // blockBase aligns an address to the (shared) block size.
 func (s *Simulator) blockBase(addr uint32) uint32 {
+	if s.blockPow2 {
+		return addr &^ s.blockMask
+	}
 	bs := uint32(s.cfg.DCache.BlockSize)
 	return addr - addr%bs
 }
@@ -295,7 +378,7 @@ func (s *Simulator) onEvictions(c *cache.Cache, victims []cache.Victim) {
 		// Decompression of compressed dirty victims is already counted by
 		// the cache stats; pay its energy here.
 		if v.WasCompressed {
-			s.spend(pj(s.cfg.Energy.DecompressPJ*s.codecDecompScale()), &s.res.Energy.Decompress)
+			s.spend(s.decompJ, &s.res.Energy.Decompress)
 		}
 		if s.cfg.Design == NvMR {
 			// Stores persisted at commit time; the NVM already holds this
@@ -307,23 +390,36 @@ func (s *Simulator) onEvictions(c *cache.Cache, victims []cache.Victim) {
 	}
 }
 
-func (s *Simulator) codecCompScale() float64 {
-	if s.cfg.Codec == nil {
-		return 1
-	}
-	return s.cfg.Codec.CompressEnergyScale()
-}
-
-func (s *Simulator) codecDecompScale() float64 {
-	if s.cfg.Codec == nil {
-		return 1
-	}
-	return s.cfg.Codec.DecompressEnergyScale()
-}
-
 // access performs one demand access (fetch or data) against a cache,
 // returning the latency it contributes to the instruction.
 func (s *Simulator) access(c *cache.Cache, addr uint32, write bool, value uint32) int {
+	// Read fast path: an MRU hit (every sequential fetch and most stream
+	// loads) needs no result struct — depth 0 is never beyond Ways, reads
+	// never evict, and a depth-0 compressed hit is always a penalized hit
+	// for the ACC predictor.
+	if !write {
+		if compressed, ok := c.ReadHitMRU(addr, s.time); ok {
+			s.spend(s.accessJ, &s.res.Energy.CacheOther)
+			latency := 1
+			if compressed {
+				buffered := c == s.ic && s.fetchBufValid && s.fetchBufBase == s.blockBase(addr)
+				if !buffered {
+					s.spend(s.decompJ, &s.res.Energy.Decompress)
+					latency += s.decompLat
+					if c == s.ic {
+						s.fetchBufBase = s.blockBase(addr)
+						s.fetchBufValid = true
+					}
+				}
+				if s.pred != nil {
+					s.pred.OnPenalizedHit()
+				}
+			} else if c == s.ic {
+				s.fetchBufValid = false
+			}
+			return latency
+		}
+	}
 	var wdata []byte
 	if write {
 		wdata = []byte{byte(value), byte(value >> 8), byte(value >> 16), byte(value >> 24)}
@@ -332,18 +428,17 @@ func (s *Simulator) access(c *cache.Cache, addr uint32, write bool, value uint32
 	// changed, so the hardware must re-encode it regardless of operating
 	// mode — RM only stops *new* blocks from being stored compressed.
 	recompress := s.cfg.Codec != nil
-	res := c.Access(addr, write, wdata, recompress, s.time)
-	s.spend(pj(s.cfg.Energy.CacheAccessPJ), &s.res.Energy.CacheOther)
+	res := &s.accRes
+	c.AccessInto(res, addr, write, wdata, recompress, s.time)
+	s.spend(s.accessJ, &s.res.Energy.CacheOther)
 	latency := 1
 
 	if res.Hit {
 		if res.Compressed {
 			buffered := c == s.ic && s.fetchBufValid && s.fetchBufBase == s.blockBase(addr)
 			if !buffered {
-				s.spend(pj(s.cfg.Energy.DecompressPJ*s.codecDecompScale()), &s.res.Energy.Decompress)
-				if s.cfg.Codec != nil {
-					latency += s.cfg.Codec.DecompressLatency()
-				}
+				s.spend(s.decompJ, &s.res.Energy.Decompress)
+				latency += s.decompLat
 				if c == s.ic {
 					s.fetchBufBase = s.blockBase(addr)
 					s.fetchBufValid = true
@@ -353,10 +448,8 @@ func (s *Simulator) access(c *cache.Cache, addr uint32, write bool, value uint32
 			s.fetchBufValid = false
 		}
 		if res.Recompressed {
-			s.spend(pj(s.cfg.Energy.CompressPJ*s.codecCompScale()), &s.res.Energy.Compress)
-			if s.cfg.Codec != nil {
-				latency += s.cfg.Codec.CompressLatency()
-			}
+			s.spend(s.compJ, &s.res.Energy.Compress)
+			latency += s.compLat
 		}
 		// ACC feedback (§II-C): deep hits prove compression's worth;
 		// shallow compressed hits paid decompression for nothing.
@@ -405,11 +498,11 @@ func (s *Simulator) access(c *cache.Cache, addr uint32, write bool, value uint32
 	}
 	doCompress := s.fillCompressDecision(base)
 	fr := c.Fill(addr, s.blockBuf, dirty, doCompress, false, s.time)
-	s.spend(pj(s.cfg.Energy.CacheAccessPJ), &s.res.Energy.CacheOther) // fill write
+	s.spend(s.accessJ, &s.res.Energy.CacheOther) // fill write
 	if fr.Compressions > 0 {
-		s.spend(pj(s.cfg.Energy.CompressPJ*s.codecCompScale())*float64(fr.Compressions), &s.res.Energy.Compress)
-		if s.cfg.Codec != nil && fr.StoredCompressed {
-			latency += s.cfg.Codec.CompressLatency()
+		s.spend(s.compJ*float64(fr.Compressions), &s.res.Energy.Compress)
+		if fr.StoredCompressed {
+			latency += s.compLat
 		}
 	}
 	if fr.StoredCompressed && s.tracked != nil {
@@ -447,10 +540,10 @@ func (s *Simulator) prefetch(base uint32) {
 	}
 	_, e := s.mem.ReadBlock(base, s.blockBuf)
 	s.spend(e, &s.res.Energy.Memory)
-	s.spend(pj(s.cfg.Energy.CacheAccessPJ), &s.res.Energy.CacheOther)
+	s.spend(s.accessJ, &s.res.Energy.CacheOther)
 	fr := s.dc.Fill(base, s.blockBuf, false, s.fillCompressDecision(base), true, s.time)
 	if fr.Compressions > 0 {
-		s.spend(pj(s.cfg.Energy.CompressPJ*s.codecCompScale())*float64(fr.Compressions), &s.res.Energy.Compress)
+		s.spend(s.compJ*float64(fr.Compressions), &s.res.Energy.Compress)
 	}
 	s.onEvictions(s.dc, fr.Evicted)
 	s.res.Prefetches++
@@ -458,8 +551,8 @@ func (s *Simulator) prefetch(base uint32) {
 
 // step commits one instruction and handles any resulting power failure.
 func (s *Simulator) step() {
-	ins := s.cfg.App.At(s.pos)
-	s.spend(pj(s.cfg.Energy.PipelinePJ), &s.res.Energy.Others)
+	ins := s.cur.At(s.pos)
+	s.spend(s.pipeJ, &s.res.Energy.Others)
 
 	latency := s.access(s.ic, ins.PC, false, 0)
 	if ins.IsMem {
@@ -502,8 +595,9 @@ func (s *Simulator) step() {
 
 	s.advance(latency)
 
-	// Voltage-trigger sampling for Kagura.
-	if s.kag != nil && s.budget > 0 {
+	// Voltage-trigger sampling for Kagura (the sample is dead weight under
+	// any other trigger — skip the headroom division).
+	if s.voltTrig && s.budget > 0 {
 		s.kag.OnVoltageHeadroom(s.cap.HeadroomAboveCheckpoint() / s.budget)
 	}
 
@@ -518,7 +612,7 @@ func (s *Simulator) step() {
 func (s *Simulator) regionCheckpoint() {
 	for _, v := range s.dc.DirtyBlocks() {
 		if v.WasCompressed {
-			s.spend(pj(s.cfg.Energy.DecompressPJ*s.codecDecompScale()), &s.res.Energy.Decompress)
+			s.spend(s.decompJ, &s.res.Energy.Decompress)
 		}
 		lat, e := s.mem.WriteBlock(v.Addr, v.Data)
 		s.spend(e, &s.res.Energy.Checkpoint)
@@ -534,7 +628,7 @@ func (s *Simulator) regionCheckpoint() {
 func (s *Simulator) sweep() {
 	for _, v := range s.dc.DirtyBlocks() {
 		if v.WasCompressed {
-			s.spend(pj(s.cfg.Energy.DecompressPJ*s.codecDecompScale()), &s.res.Energy.Decompress)
+			s.spend(s.decompJ, &s.res.Energy.Decompress)
 		}
 		lat, e := s.mem.WriteBlock(v.Addr, v.Data)
 		s.spend(e, &s.res.Energy.Checkpoint)
@@ -577,7 +671,7 @@ func (s *Simulator) powerFail() {
 		dirty := s.dc.DirtyBlocks()
 		for _, v := range dirty {
 			if v.WasCompressed {
-				s.spend(pj(s.cfg.Energy.DecompressPJ*s.codecDecompScale()), &s.res.Energy.Decompress)
+				s.spend(s.decompJ, &s.res.Energy.Decompress)
 			}
 			lat, e := s.mem.WriteBlock(v.Addr, v.Data)
 			s.spend(e, &s.res.Energy.Checkpoint)

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DiscardEnc flags Codec.Compress calls that throw the encoding away — the
+// first result assigned to the blank identifier, or the whole call used as a
+// statement — inside the deterministic core packages. The simulated cache
+// stores raw bytes plus a segment count, never the encoding, so a
+// size-curious caller that invokes Compress materializes (and allocates) a
+// full encoding per probe on the fill/writeback hot path; that exact bug
+// cost the inner loop an allocation per fill until it was replaced by the
+// size-only CompressedSize contract. Size probes must call CompressedSize
+// (allocation-free, equal (size, ok) by TestCompressedSizeMatchesCompress).
+//
+// Test files are exempt: the equivalence and round-trip suites legitimately
+// run Compress for its size to pin it against CompressedSize.
+var DiscardEnc = &Analyzer{
+	Name: "discardenc",
+	Doc:  "flag Codec.Compress calls that discard the encoding in core packages (use CompressedSize)",
+	Run:  runDiscardEnc,
+}
+
+// isCodecCompress reports whether call invokes a Compress method declared in
+// the compress package (the Codec interface or any concrete codec).
+func isCodecCompress(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Compress" {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "kagura/internal/compress"
+}
+
+func runDiscardEnc(pass *Pass) error {
+	if !IsCorePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// _, size, ok := x.Compress(b): the encoding is discarded.
+				if len(n.Rhs) != 1 || len(n.Lhs) != 3 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isCodecCompress(pass, call) {
+					return true
+				}
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "discardenc",
+						"Compress discards the encoding — this allocates a full encoding per size probe on the fill/writeback hot path; call CompressedSize instead")
+				}
+			case *ast.ExprStmt:
+				// x.Compress(b) as a bare statement discards every result.
+				if call, ok := n.X.(*ast.CallExpr); ok && isCodecCompress(pass, call) {
+					pass.Reportf(call.Pos(), "discardenc",
+						"Compress result discarded entirely; if only the size matters call CompressedSize, otherwise use the encoding")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"kagura/internal/lint"
+	"kagura/internal/lint/linttest"
+)
+
+// TestDiscardEncCore runs the fixture under a deterministic-core import
+// path: blanked and fully discarded Compress results must be flagged;
+// CompressedSize probes, real encoding uses, and same-shaped methods on
+// unrelated types must pass.
+func TestDiscardEncCore(t *testing.T) {
+	linttest.Run(t, lint.DiscardEnc, "testdata/src/discardenc/core", "kagura/internal/cache")
+}
+
+// TestDiscardEncServiceExempt checks the same fixture under a service-layer
+// import path, where the hot-path contract does not apply and the analyzer
+// must stay silent.
+func TestDiscardEncServiceExempt(t *testing.T) {
+	linttest.Run(t, lint.DiscardEnc, "testdata/src/discardenc/svc", "kagura/internal/simsvc")
+}

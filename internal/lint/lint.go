@@ -78,6 +78,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism, LockedBlock, MapIterOrder, FloatEq,
 		AtomicWrite, BoundedDecode, ErrTaxonomy, FaultPoint, MetricsTable,
+		DiscardEnc,
 	}
 }
 

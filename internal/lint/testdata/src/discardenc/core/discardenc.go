@@ -1,0 +1,48 @@
+// Package discardenc is a fixture for the discarded-encoding analyzer:
+// Compress calls that blank the encoding (or drop every result) in a core
+// package must be flagged; CompressedSize probes, full uses of the
+// encoding, and three-result calls on unrelated types must pass.
+package discardenc
+
+import "kagura/internal/compress"
+
+func probeViaCompress(c compress.Codec, block []byte) (int, bool) {
+	_, size, ok := c.Compress(block) // want `Compress discards the encoding`
+	return size, ok
+}
+
+func probeConcrete(block []byte) int {
+	_, size, _ := compress.BDI{}.Compress(block) // want `Compress discards the encoding`
+	return size
+}
+
+func fireAndForget(c compress.Codec, block []byte) {
+	c.Compress(block) // want `Compress result discarded entirely`
+}
+
+// --- Legal patterns: everything below must produce no findings. ---
+
+// probeViaSize is the intended hot-path probe.
+func probeViaSize(c compress.Codec, block []byte) (int, bool) {
+	return c.CompressedSize(block)
+}
+
+// storeEncoding uses the encoding: Compress is the right call.
+func storeEncoding(c compress.Codec, block []byte) []byte {
+	enc, _, ok := c.Compress(block)
+	if !ok {
+		return block
+	}
+	return enc
+}
+
+// otherCompress has the same shape on an unrelated type; not the codec
+// contract, so blanking its first result is fine.
+type otherCompress struct{}
+
+func (otherCompress) Compress(b []byte) ([]byte, int, bool) { return b, len(b), true }
+
+func unrelated(b []byte) int {
+	_, n, _ := otherCompress{}.Compress(b)
+	return n
+}

@@ -1,0 +1,12 @@
+// Package discardenc is the service-layer variant of the discarded-encoding
+// fixture: the same blanked Compress call, typechecked under a non-core
+// import path, must produce no findings — the hot-path contract only binds
+// the deterministic core.
+package discardenc
+
+import "kagura/internal/compress"
+
+func probeViaCompress(c compress.Codec, block []byte) (int, bool) {
+	_, size, ok := c.Compress(block)
+	return size, ok
+}

@@ -12,6 +12,7 @@ func TestSuiteComplete(t *testing.T) {
 	want := []string{
 		"simdeterminism", "lockedblock", "mapiterorder", "floateq",
 		"atomicwrite", "boundeddecode", "errtaxonomy", "faultpoint", "metricstable",
+		"discardenc",
 	}
 	all := lint.All()
 	if len(all) != len(want) {

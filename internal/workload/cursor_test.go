@@ -1,0 +1,60 @@
+package workload
+
+import "testing"
+
+// TestCursorMatchesApp pins the cursor's batched decode loop against the
+// reference App.At: every instruction of every suite app must come out
+// identical. The cursor is the simulator's instruction source, so any
+// divergence here would silently change simulation results.
+func TestCursorMatchesApp(t *testing.T) {
+	for _, app := range Suite(1) {
+		cur := NewCursor(app)
+		n := app.Len()
+		if n > 200_000 {
+			n = 200_000
+		}
+		for i := int64(0); i < n; i++ {
+			got := *cur.At(i)
+			want := app.At(i)
+			if got != want {
+				t.Fatalf("%s: instr %d: cursor %+v, app %+v", app.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCursorRandomAccess exercises the self-healing property the simulator
+// relies on after power-failure rollbacks: jumping the cursor to an
+// arbitrary position (backwards, across phase boundaries, to the ends)
+// still yields App.At's instruction.
+func TestCursorRandomAccess(t *testing.T) {
+	app, err := ByName("jpeg", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(app)
+	total := app.Len()
+	positions := []int64{0, total - 1, total / 2, 1, total / 3, 0, total - 2}
+	// Phase boundaries and their neighbours are where the window logic and
+	// the per-iteration bookkeeping can go wrong.
+	for _, ps := range app.phaseStart {
+		for _, d := range []int64{-2, -1, 0, 1, 2} {
+			if p := ps + d; p >= 0 && p < total {
+				positions = append(positions, p)
+			}
+		}
+	}
+	// A deterministic pseudo-random walk, mimicking repeated rollbacks.
+	x := uint64(12345)
+	for i := 0; i < 500; i++ {
+		x = mix64(x)
+		positions = append(positions, int64(x%uint64(total)))
+	}
+	for _, p := range positions {
+		got := *cur.At(p)
+		want := app.At(p)
+		if got != want {
+			t.Fatalf("instr %d: cursor %+v, app %+v", p, got, want)
+		}
+	}
+}

@@ -138,6 +138,7 @@ type App struct {
 	phaseStart []int64 // prefix sums of phase lengths (instructions)
 	memIndex   [][]int // per phase: slot position → memory-op ordinal or −1
 	memPerIter []int   // per phase: memory slots per iteration
+	codeChunks []int   // per phase: CodeWords / len(Body), the fetch fan-out
 	total      int64
 }
 
@@ -148,6 +149,7 @@ func (a *App) Build() {
 	a.phaseStart = make([]int64, len(a.Phases)+1)
 	a.memIndex = make([][]int, len(a.Phases))
 	a.memPerIter = make([]int, len(a.Phases))
+	a.codeChunks = make([]int, len(a.Phases))
 	for pi, p := range a.Phases {
 		a.phaseStart[pi+1] = a.phaseStart[pi] + p.Iterations*int64(len(p.Body))
 		idx := make([]int, len(p.Body))
@@ -162,6 +164,7 @@ func (a *App) Build() {
 		}
 		a.memIndex[pi] = idx
 		a.memPerIter[pi] = m
+		a.codeChunks[pi] = p.CodeWords / len(p.Body)
 	}
 	a.total = a.phaseStart[len(a.Phases)]
 	for ri := range a.Regions {
@@ -189,30 +192,68 @@ func mix64(x uint64) uint64 {
 }
 
 // At returns the i-th committed instruction. i must be in [0, Len()).
+//
+// At is a pure function of i, so it is safe to share an App across
+// goroutines. Sequential consumers (the simulator walks i monotonically,
+// except for rollbacks) should prefer a Cursor, which skips the per-call
+// phase search.
 func (a *App) At(i int64) Instr {
-	// Locate the phase by binary search on the prefix sums.
-	pi := sort.Search(len(a.Phases), func(k int) bool { return a.phaseStart[k+1] > i })
+	return a.at(a.phaseOf(i), i)
+}
+
+// phaseOf locates the phase containing instruction i.
+func (a *App) phaseOf(i int64) int {
+	return sort.Search(len(a.Phases), func(k int) bool { return a.phaseStart[k+1] > i })
+}
+
+// at synthesizes instruction i, which must lie inside phase pi.
+func (a *App) at(pi int, i int64) Instr {
 	p := &a.Phases[pi]
 	j := i - a.phaseStart[pi]
 	bodyLen := int64(len(p.Body))
-	iter := j / bodyLen
-	pos := int(j % bodyLen)
+	return a.atPos(pi, j/bodyLen, int(j%bodyLen))
+}
+
+// atPos synthesizes the instruction at iteration iter, body position pos of
+// phase pi. Factoring the division out of the instruction synthesis lets a
+// sequential Cursor carry (iter, pos) incrementally.
+func (a *App) atPos(pi int, iter int64, pos int) Instr {
+	return a.atPosCached(pi, pos, a.chunkBase(pi, iter), iter*int64(a.memPerIter[pi]), a.Seed^uint64(iter)<<1)
+}
+
+// chunkBase picks the code chunk fetched by one loop iteration, returned as
+// a word offset into the phase's code footprint. Chunk 0 is the hot path
+// (~60% of iterations); the rest spread uniformly, so the fetch stream
+// covers CodeWords words without the pathological LRU behavior of a pure
+// cyclic walk (modeling dispatch across inlined call sites / switch arms).
+func (a *App) chunkBase(pi int, iter int64) int {
+	chunks := a.codeChunks[pi]
+	if chunks <= 1 {
+		return 0
+	}
+	h := mix64(a.Seed ^ 0xc0de ^ uint64(iter)*0x2545f4914f6cdd1d)
+	if h%10 < 6 {
+		return 0
+	}
+	return (1 + int((h>>8)%uint64(chunks-1))) * len(a.Phases[pi].Body)
+}
+
+// atPosCached is atPos with the three iteration-invariant inputs hoisted out:
+// the fetch chunk's word offset, the memory-op ordinal base
+// (iter×memPerIter), and the store-value seed (Seed^iter<<1). A sequential
+// Cursor refreshes them once per loop iteration instead of once per
+// instruction.
+func (a *App) atPosCached(pi, pos, chunkBase int, ordBase int64, valSeed uint64) Instr {
+	p := &a.Phases[pi]
 	slot := p.Body[pos]
 
-	// Instruction fetch: each iteration executes one bodyLen-word chunk of
-	// the phase's code footprint (modeling dispatch across inlined call
-	// sites / switch arms). Chunk 0 is the hot path (~60% of iterations);
-	// the rest spread uniformly, so the fetch stream covers CodeWords words
-	// without the pathological LRU behavior of a pure cyclic walk.
-	chunks := p.CodeWords / len(p.Body)
-	chunk := 0
-	if chunks > 1 {
-		h := mix64(a.Seed ^ 0xc0de ^ uint64(iter)*0x2545f4914f6cdd1d)
-		if h%10 >= 6 {
-			chunk = 1 + int((h>>8)%uint64(chunks-1))
-		}
+	// chunkBase+pos only reaches CodeWords when the phase's body is longer
+	// than its code footprint (then chunkBase is 0), so the wrap is a
+	// branch, not a division.
+	word := chunkBase + pos
+	if word >= p.CodeWords {
+		word %= p.CodeWords
 	}
-	word := (chunk*len(p.Body) + pos) % p.CodeWords
 	ins := Instr{PC: p.CodeBase + uint32(word)*4}
 	if slot.Kind == Arith {
 		return ins
@@ -221,7 +262,7 @@ func (a *App) At(i int64) Instr {
 	ins.IsStore = slot.Kind == Store
 
 	r := &a.Regions[slot.Region]
-	ordinal := iter*int64(a.memPerIter[pi]) + int64(a.memIndex[pi][pos])
+	ordinal := ordBase + int64(a.memIndex[pi][pos])
 	var dataWord int64
 	switch slot.Pattern {
 	case PatSeq:
@@ -237,9 +278,144 @@ func (a *App) At(i int64) Instr {
 	if ins.IsStore {
 		// Store values follow the region's class but vary across iterations,
 		// so dirty blocks stay representative of the class.
-		ins.Value = ClassValue(r.Class, ins.Addr, a.Seed^uint64(iter)<<1)
+		ins.Value = ClassValue(r.Class, ins.Addr, valSeed)
 	}
 	return ins
+}
+
+// cursorBatch is the Cursor's decode-window size in instructions. One window
+// amortizes the phase lookup, the per-iteration value refresh, and every
+// slice-header load over 256 instructions; at 16B per Instr the buffer is
+// 4KiB — one per simulator, allocated once.
+const cursorBatch = 256
+
+// Cursor is a sequential reader over an App's instruction stream. It decodes
+// instructions in batches of cursorBatch into a window buffer, so the common
+// monotone walk (the simulator's run loop) serves each instruction with two
+// comparisons and an index — no phase search, no division, no per-call
+// iteration bookkeeping. Random access still works: any index outside the
+// window triggers a refill starting there, which makes the cursor
+// self-healing across the simulator's position rollbacks (power failures,
+// atomic-region re-execution).
+//
+// A Cursor holds no mutable App state: Apps stay shareable across
+// goroutines, each consumer owns its cursor.
+type Cursor struct {
+	app   *App
+	buf   []Instr // decoded window: instructions [bufLo, bufLo+len(buf))
+	bufLo int64
+	store [cursorBatch]Instr
+
+	pi     int   // cached phase index of the window
+	lo, hi int64 // instruction bounds of the cached phase: [lo, hi)
+}
+
+// NewCursor returns a cursor positioned before the first instruction. The
+// App must already be built.
+func NewCursor(app *App) Cursor {
+	// bufLo = 1 with an empty buffer makes every first access miss the
+	// window (including i == 0); lo == hi == 0 forces the phase search.
+	return Cursor{app: app, bufLo: 1}
+}
+
+// At returns instruction i, identical to app.At(i). The pointer aims into
+// the cursor's decode window and is valid until the next At call that
+// misses the window — read it before advancing, don't retain it.
+func (c *Cursor) At(i int64) *Instr {
+	// One unsigned compare covers both bounds: i < bufLo wraps negative j
+	// past any buffer length. Keeps the call under the inlining budget.
+	if j := uint64(i - c.bufLo); j < uint64(len(c.buf)) {
+		return &c.buf[j]
+	}
+	return c.refill(i)
+}
+
+// refill decodes a fresh window starting at instruction i and returns
+// instruction i. The window extends to cursorBatch instructions or the end
+// of i's phase, whichever is nearer; per-iteration values (fetch chunk,
+// memory-op ordinal base, store-value seed) refresh only at iteration
+// boundaries inside the decode loop.
+func (c *Cursor) refill(i int64) *Instr {
+	a := c.app
+	if i < c.lo || i >= c.hi {
+		c.pi = a.phaseOf(i)
+		c.lo = a.phaseStart[c.pi]
+		c.hi = a.phaseStart[c.pi+1]
+	}
+	bodyLen := int64(len(a.Phases[c.pi].Body))
+	j := i - c.lo
+	iter := j / bodyLen
+	pos := int(j % bodyLen)
+
+	n := c.hi - i
+	if n > cursorBatch {
+		n = cursorBatch
+	}
+	buf := c.store[:n]
+
+	// The decode loop is App.atPosCached with every per-call lookup hoisted:
+	// phase, body, memIndex, and region headers load once per window (into
+	// locals, so stores through buf cannot force reloads), the
+	// iteration-derived values once per iteration. The synthesized stream is
+	// pinned against App.At by TestCursorMatchesApp.
+	p := &a.Phases[c.pi]
+	body := p.Body
+	codeWords := p.CodeWords
+	codeBase := p.CodeBase
+	regions := a.Regions
+	seed := a.Seed
+	memIdx := a.memIndex[c.pi]
+	memPerIter := int64(a.memPerIter[c.pi])
+	chunkBase := a.chunkBase(c.pi, iter)
+	ordBase := iter * memPerIter
+	valSeed := seed ^ uint64(iter)<<1
+	for k := range buf {
+		slot := body[pos]
+		word := chunkBase + pos
+		if word >= codeWords {
+			// chunkBase < CodeWords, so one subtraction usually wraps; the
+			// division only runs for bodies longer than the code footprint.
+			if word < 2*codeWords {
+				word -= codeWords
+			} else {
+				word %= codeWords
+			}
+		}
+		ins := Instr{PC: codeBase + uint32(word)*4}
+		if slot.Kind != Arith {
+			ins.IsMem = true
+			ins.IsStore = slot.Kind == Store
+			r := &regions[slot.Region]
+			ordinal := ordBase + int64(memIdx[pos])
+			var dataWord int64
+			switch slot.Pattern {
+			case PatSeq:
+				dataWord = ordinal % int64(r.SizeWords)
+			case PatStride:
+				dataWord = (ordinal * 8) % int64(r.SizeWords)
+			case PatHot:
+				dataWord = int64(mix64(seed^uint64(ordinal)*0x9e3779b97f4a7c15) % uint64(r.HotWords))
+			case PatRand:
+				dataWord = int64(mix64(seed^0xabcd^uint64(ordinal)*0x9e3779b97f4a7c15) % uint64(r.SizeWords))
+			}
+			ins.Addr = r.Base + uint32(dataWord)*4
+			if ins.IsStore {
+				ins.Value = ClassValue(r.Class, ins.Addr, valSeed)
+			}
+		}
+		buf[k] = ins
+		pos++
+		if pos == int(bodyLen) {
+			pos = 0
+			iter++
+			chunkBase = a.chunkBase(c.pi, iter)
+			ordBase = iter * memPerIter
+			valSeed = seed ^ uint64(iter)<<1
+		}
+	}
+	c.buf = buf
+	c.bufLo = i
+	return &buf[0]
 }
 
 // ClassValue synthesizes a 32-bit value of the given class for a word
